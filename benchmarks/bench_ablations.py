@@ -1,0 +1,119 @@
+"""Ablations around the design choices DESIGN.md calls out.
+
+Not a paper table — parameter sweeps that probe *why* the headline
+numbers look the way they do:
+
+* batching-window sweep: the latency/throughput trade of §7.2's 100 ms
+  choice;
+* committee-length sweep: latency grows with chain length while
+  throughput stays bandwidth-bound (the paper's Table 1 observation,
+  extended to longer chains);
+* counter-delay sweep: how stable-storage throughput tracks the
+  monotonic-counter hardware rate;
+* state-update size sweep: replication throughput is inversely
+  proportional to update size (the bandwidth-bound model's core claim).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.calibration import Calibration
+from repro.bench.timing import ChannelTimingModel
+from repro.network.topology import fig3_topology
+
+from conftest import report
+from repro.bench.harness import ExperimentResult
+
+
+def batching_window_sweep():
+    rows = []
+    for window in (0.010, 0.050, 0.100, 0.200, 0.500):
+        calibration = dataclasses.replace(Calibration(),
+                                          batch_window_seconds=window)
+        model = ChannelTimingModel(calibration, fig3_topology())
+        rows.append((window, model.payment_latency(2, batching=True)))
+    return rows
+
+
+def test_ablation_batching_window(benchmark):
+    rows = benchmark(batching_window_sweep)
+    report("Ablation: batch window vs two-replica latency", [
+        ExperimentResult("ablation", f"window {window * 1000:.0f} ms",
+                         "latency", latency * 1000, None, "ms")
+        for window, latency in rows
+    ])
+    latencies = [latency for _, latency in rows]
+    assert latencies == sorted(latencies)
+    # The window is additive: latency(500 ms) − latency(10 ms) = 490 ms.
+    assert abs((latencies[-1] - latencies[0]) - 0.490) < 1e-9
+
+
+def committee_length_sweep():
+    model = ChannelTimingModel.paper_setup()
+    return [
+        (replicas, model.payment_latency(replicas),
+         model.payment_throughput(replicas))
+        for replicas in (0, 1, 2, 3)
+    ]
+
+
+def test_ablation_committee_length(benchmark):
+    rows = benchmark(committee_length_sweep)
+    report("Ablation: committee chain length", [
+        ExperimentResult("ablation", f"{replicas} replicas", "latency",
+                         latency * 1000, None, "ms")
+        for replicas, latency, _ in rows
+    ])
+    latencies = [latency for _, latency, _ in rows]
+    assert latencies == sorted(latencies)
+    throughputs = [throughput for _, _, throughput in rows]
+    # Table 1's observation: adding replicas beyond the first does not
+    # change throughput (same bottleneck link).
+    assert throughputs[1] == throughputs[2] == throughputs[3]
+    assert throughputs[0] > throughputs[1]
+
+
+def counter_delay_sweep():
+    rows = []
+    for delay in (0.010, 0.050, 0.100, 0.500):
+        calibration = dataclasses.replace(
+            Calibration(), counter_increment_seconds=delay)
+        model = ChannelTimingModel(calibration, fig3_topology())
+        rows.append((delay,
+                     model.payment_throughput(0, stable_storage=True)))
+    return rows
+
+
+def test_ablation_counter_delay(benchmark):
+    rows = benchmark(counter_delay_sweep)
+    report("Ablation: monotonic-counter delay vs stable-storage throughput", [
+        ExperimentResult("ablation", f"{delay * 1000:.0f} ms increment",
+                         "throughput", throughput, None, "tx/s")
+        for delay, throughput in rows
+    ])
+    for delay, throughput in rows:
+        assert abs(throughput - 1.0 / delay) < 1e-6
+
+
+def update_size_sweep():
+    rows = []
+    for size in (128, 330, 512, 1024, 4096):
+        calibration = dataclasses.replace(Calibration(),
+                                          state_update_bytes=float(size))
+        rows.append((size, calibration.replication_throughput()))
+    return rows
+
+
+def test_ablation_state_update_size(benchmark):
+    rows = benchmark(update_size_sweep)
+    report("Ablation: state-update size vs replicated throughput", [
+        ExperimentResult("ablation", f"{size} B update", "throughput",
+                         throughput, None, "tx/s")
+        for size, throughput in rows
+    ])
+    # Inverse proportionality.
+    baseline_size, baseline_throughput = rows[0]
+    for size, throughput in rows[1:]:
+        expected = baseline_throughput * baseline_size / size
+        assert abs(throughput - expected) / expected < 1e-9

@@ -1,0 +1,82 @@
+"""Figure 4 — latency of multi-hop payments vs number of hops.
+
+Five series over 2–11 hops: LN, Teechain without fault tolerance, one and
+two replicas, and stable storage.  The paper's qualitative findings, all
+asserted here:
+
+* every series is linear in the hop count;
+* Teechain without fault tolerance is ≈2× LN (6 vs 3 messages per hop);
+* replication dominates the Teechain gradients (1 replica ≈ 5 s at 2 hops
+  rising to ≈23 s at 11 hops).
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, within_factor
+from repro.bench.timing import MultihopTimingModel
+
+from conftest import report
+
+HOPS = list(range(2, 12))
+
+# Fig. 4 anchor points read off the published plot (seconds).
+PAPER_POINTS = {
+    ("Lightning Network", 2): 1.0,
+    ("Lightning Network", 11): 7.0,
+    ("No fault tolerance", 2): 2.0,
+    ("No fault tolerance", 11): 14.0,
+    ("Single replica", 2): 5.0,
+    ("Single replica", 11): 23.0,
+}
+
+
+def fig4_series(model: MultihopTimingModel):
+    series = {
+        "Lightning Network": [model.lightning_latency(h) for h in HOPS],
+        "No fault tolerance": [model.teechain_latency(h, 0) for h in HOPS],
+        "Single replica": [model.teechain_latency(h, 1) for h in HOPS],
+        "Two replicas": [model.teechain_latency(h, 2) for h in HOPS],
+        "Stable storage": [
+            model.teechain_latency(h, 0, stable_storage=True) for h in HOPS
+        ],
+    }
+    return series
+
+
+def test_fig4_multihop_latency(benchmark):
+    model = MultihopTimingModel.paper_setup()
+    series = benchmark(fig4_series, model)
+
+    results = []
+    for (name, hops), paper_value in PAPER_POINTS.items():
+        measured = series[name][HOPS.index(hops)]
+        results.append(ExperimentResult(
+            "Fig 4", f"{name} @ {hops} hops", "latency", measured,
+            paper_value, "s"))
+    report("Figure 4: multi-hop payment latency", results)
+    print("\nFull series (seconds per hop count):")
+    header = "hops: " + " ".join(f"{h:>6}" for h in HOPS)
+    print(header)
+    for name, values in series.items():
+        print(f"{name:<22}" + " ".join(f"{v:6.1f}" for v in values))
+
+    # Linearity: second differences vanish.
+    for values in series.values():
+        diffs = [b - a for a, b in zip(values, values[1:])]
+        assert max(diffs) - min(diffs) < 1e-9
+
+    # Teechain no-FT ≈ 2× LN (the message-count ratio).
+    ln = series["Lightning Network"]
+    noft = series["No fault tolerance"]
+    for ln_latency, teechain_latency in zip(ln, noft):
+        assert abs(teechain_latency / ln_latency - 2.0) < 1e-9
+
+    # Anchor points within 2× of the plot readings.
+    for (name, hops), paper_value in PAPER_POINTS.items():
+        measured = series[name][HOPS.index(hops)]
+        assert within_factor(measured, paper_value, 2.0), (name, hops)
+
+    # Ordering: more fault tolerance, more latency.
+    for index in range(len(HOPS)):
+        assert (noft[index] < series["Single replica"][index]
+                < series["Two replicas"][index])

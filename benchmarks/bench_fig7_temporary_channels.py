@@ -1,0 +1,60 @@
+"""Figure 7 — throughput with temporary channels.
+
+Hub-and-spoke with G temporary channels on every tier-1/tier-2 link, for
+n = 1 and n = 2.  Paper findings asserted: throughput grows with G
+(≈linearly at first) and shows diminishing returns because tier-3 links
+gain no temporary channels.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.netsim import NetworkSimulation, NetworkSimulationConfig
+from repro.network.topology import hub_and_spoke_overlay
+
+from conftest import report
+
+G_VALUES = (0, 1, 2, 4)
+
+
+def run_point(temporary: int, committee_size: int) -> float:
+    config = NetworkSimulationConfig(
+        overlay=hub_and_spoke_overlay(), committee_size=committee_size,
+        temporary_channels=temporary, payment_count=8_000,
+    )
+    return NetworkSimulation(config).run().throughput
+
+
+def sweep():
+    return {
+        (g, n): run_point(g, n)
+        for n in (1, 2)
+        for g in G_VALUES
+    }
+
+
+def test_fig7_temporary_channels(once):
+    measured = once(sweep)
+
+    results = [
+        ExperimentResult("Fig 7", f"G={g}, n={n}", "throughput", value,
+                         None, "tx/s")
+        for (g, n), value in sorted(measured.items(), key=lambda kv: kv[0][::-1])
+    ]
+    report("Figure 7: temporary channels", results)
+
+    for n in (1, 2):
+        series = [measured[(g, n)] for g in G_VALUES]
+        # Temporary channels help: G=1 beats G=0 by a clear margin.
+        assert series[1] > 1.15 * series[0], (n, series)
+        # Monotone non-decreasing (within simulator noise).
+        for earlier, later in zip(series, series[1:]):
+            assert later >= 0.93 * earlier, (n, series)
+        # Diminishing returns: the per-G gain over G=2→4 (two steps) is
+        # smaller than the G=0→1 gain.
+        first_gain = series[1] - series[0]
+        late_gain_per_step = (series[3] - series[2]) / 2.0
+        assert late_gain_per_step < first_gain, (n, series)
+    # Fault tolerance still costs throughput at every G.
+    for g in G_VALUES:
+        assert measured[(g, 1)] > measured[(g, 2)], g

@@ -1,0 +1,51 @@
+"""§7.3's multi-hop throughput comparison (text results).
+
+"The throughput of Teechain for 2 hops is 14,062 tx/sec, while it is
+3,649 tx/sec for 11 hops.  For LN, throughput for 2 hops is 862 tx/sec,
+and 139 tx/sec for 11 hops.  Teechain thus outperforms LN by between
+16×–26× for between 2 and 11 hops."
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, within_factor
+from repro.bench.timing import MultihopTimingModel
+
+from conftest import report
+
+PAPER = {
+    ("Teechain", 2): 14_062,
+    ("Teechain", 11): 3_649,
+    ("LN", 2): 862,
+    ("LN", 11): 139,
+}
+
+
+def throughputs(model: MultihopTimingModel):
+    return {
+        ("Teechain", hops): model.teechain_throughput(hops)
+        for hops in (2, 11)
+    } | {
+        ("LN", hops): model.lightning_throughput(hops)
+        for hops in (2, 11)
+    }
+
+
+def test_multihop_throughput(benchmark):
+    model = MultihopTimingModel.paper_setup()
+    measured = benchmark(throughputs, model)
+
+    results = [
+        ExperimentResult("§7.3", f"{system} @ {hops} hops", "throughput",
+                         measured[(system, hops)], paper, "tx/s")
+        for (system, hops), paper in PAPER.items()
+    ]
+    report("§7.3: multi-hop payment throughput", results)
+
+    for key, paper in PAPER.items():
+        assert within_factor(measured[key], paper, 1.25), key
+
+    # The headline: Teechain outperforms LN by 16×–26× over 2–11 hops.
+    for hops in (2, 11):
+        ratio = measured[("Teechain", hops)] / measured[("LN", hops)]
+        assert 12 <= ratio <= 32, f"{hops} hops: {ratio:.1f}×"

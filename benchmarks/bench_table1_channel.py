@@ -1,0 +1,85 @@
+"""Table 1 — performance of a single payment channel.
+
+Regenerates every row: LN baseline, Teechain without fault tolerance, one
+to three replicas, the outsourced channel, stable storage, and the three
+batching rows — throughput and latency — on the Fig. 3 topology model.
+"""
+
+import pytest
+
+from repro.baselines.lightning import LN_MAX_THROUGHPUT, LN_PAYMENT_LATENCY
+from repro.bench.harness import ExperimentResult, within_factor
+from repro.bench.timing import ChannelTimingModel
+
+from conftest import report
+
+PAPER = {
+    # configuration: (throughput tx/s, latency ms)
+    "Lightning Network (LN)": (1_000, 387),
+    "No fault tolerance": (130_311, 86),
+    "One replica (IL)": (34_115, 292),
+    "Two replicas (IL & UK)": (33_180, 415),
+    "Three replicas (IL, US & UK)": (33_178, 672),
+    "Outsourced channel, two replicas": (33_178, 483),
+    "Stable storage": (10, 288),
+    "Batching (no fault tolerance)": (150_311, 191),
+    "Batching (two replicas)": (135_331, 516),
+    "Batching (stable storage)": (145_786, 401),
+}
+
+
+def table1_rows(model: ChannelTimingModel):
+    """Compute every Table 1 row: (name, throughput, latency-seconds)."""
+    return [
+        ("Lightning Network (LN)", LN_MAX_THROUGHPUT, LN_PAYMENT_LATENCY),
+        ("No fault tolerance",
+         model.payment_throughput(0), model.payment_latency(0)),
+        ("One replica (IL)",
+         model.payment_throughput(1), model.payment_latency(1)),
+        ("Two replicas (IL & UK)",
+         model.payment_throughput(2), model.payment_latency(2)),
+        ("Three replicas (IL, US & UK)",
+         model.payment_throughput(3), model.payment_latency(3)),
+        ("Outsourced channel, two replicas",
+         model.payment_throughput(2),
+         model.payment_latency(2, outsourced=True)),
+        ("Stable storage",
+         model.payment_throughput(0, stable_storage=True),
+         model.payment_latency(0, stable_storage=True)),
+        ("Batching (no fault tolerance)",
+         model.payment_throughput(0, batching=True),
+         model.payment_latency(0, batching=True)),
+        ("Batching (two replicas)",
+         model.payment_throughput(2, batching=True),
+         model.payment_latency(2, batching=True)),
+        ("Batching (stable storage)",
+         model.payment_throughput(0, stable_storage=True, batching=True),
+         model.payment_latency(0, stable_storage=True, batching=True)),
+    ]
+
+
+def test_table1_channel_performance(benchmark):
+    model = ChannelTimingModel.paper_setup()
+    rows = benchmark(table1_rows, model)
+
+    results = []
+    for name, throughput, latency in rows:
+        paper_tp, paper_lat = PAPER[name]
+        results.append(ExperimentResult(
+            "Table 1", name, "throughput", throughput, paper_tp, "tx/s"))
+        results.append(ExperimentResult(
+            "Table 1", name, "latency", latency * 1000, paper_lat, "ms"))
+    report("Table 1: single payment channel", results)
+
+    by_name = {name: (tp, lat) for name, tp, lat in rows}
+    # Shape assertions: every row within 1.35× of the paper.
+    for name, (paper_tp, paper_lat) in PAPER.items():
+        throughput, latency = by_name[name]
+        assert within_factor(throughput, paper_tp, 1.35), name
+        assert within_factor(latency * 1000, paper_lat, 1.35), name
+    # Headline claims: ≥33× LN with two replicas; two orders of magnitude
+    # without fault tolerance.
+    assert by_name["Two replicas (IL & UK)"][0] >= 33 * by_name[
+        "Lightning Network (LN)"][0]
+    assert by_name["No fault tolerance"][0] >= 100 * by_name[
+        "Lightning Network (LN)"][0]

@@ -1,0 +1,69 @@
+"""Table 2 — latency of payment-channel operations.
+
+LN channel creation (one funding transaction + six Bitcoin confirmations
+≈ 60 minutes) against Teechain's seconds-scale channel/replica creation
+and sub-second deposit association across committee-chain lengths.
+"""
+
+import pytest
+
+from repro.baselines.lightning import LN_CHANNEL_OPEN_SECONDS
+from repro.bench.harness import ExperimentResult, within_factor
+from repro.bench.timing import ChannelTimingModel
+
+from conftest import report
+
+PAPER_MS = {
+    "LN channel creation": 3_600_000,
+    "Teechain channel creation": 2_810,
+    "Teechain channel creation (outsourced)": 4_322,
+    "Replica creation": 2_765,
+    "Replica creation (outsourced)": 2_852,
+    "Associate/dissociate (no FT)": 101,
+    "Associate/dissociate (one backup)": 289,
+    "Associate/dissociate (two backups)": 422,
+    "Associate/dissociate (three backups)": 677,
+    "Associate/dissociate (stable storage)": 302,
+}
+
+
+def table2_rows(model: ChannelTimingModel):
+    return [
+        ("LN channel creation", LN_CHANNEL_OPEN_SECONDS),
+        ("Teechain channel creation", model.channel_creation_latency()),
+        ("Teechain channel creation (outsourced)",
+         model.channel_creation_latency(outsourced=True)),
+        ("Replica creation", model.replica_creation_latency()),
+        ("Replica creation (outsourced)",
+         model.replica_creation_latency(outsourced=True)),
+        ("Associate/dissociate (no FT)", model.associate_latency(0)),
+        ("Associate/dissociate (one backup)", model.associate_latency(1)),
+        ("Associate/dissociate (two backups)", model.associate_latency(2)),
+        ("Associate/dissociate (three backups)", model.associate_latency(3)),
+        ("Associate/dissociate (stable storage)",
+         model.associate_latency(0, stable_storage=True)),
+    ]
+
+
+def test_table2_channel_operations(benchmark):
+    model = ChannelTimingModel.paper_setup()
+    rows = benchmark(table2_rows, model)
+
+    results = [
+        ExperimentResult("Table 2", name, "latency", seconds * 1000,
+                         PAPER_MS[name], "ms")
+        for name, seconds in rows
+    ]
+    report("Table 2: channel operations", results)
+
+    by_name = dict(rows)
+    for name, paper_ms in PAPER_MS.items():
+        assert within_factor(by_name[name] * 1000, paper_ms, 1.5), name
+    # The qualitative claims: channel creation is ~3 orders of magnitude
+    # faster than LN, and association latency grows with chain length.
+    assert by_name["Teechain channel creation"] < LN_CHANNEL_OPEN_SECONDS / 500
+    ladder = [by_name["Associate/dissociate (no FT)"],
+              by_name["Associate/dissociate (one backup)"],
+              by_name["Associate/dissociate (two backups)"],
+              by_name["Associate/dissociate (three backups)"]]
+    assert ladder == sorted(ladder)

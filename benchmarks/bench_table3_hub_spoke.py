@@ -1,0 +1,89 @@
+"""Table 3 — throughput with the hub-and-spoke topology.
+
+The contention experiment: multi-hop payments lock channels, so the
+three-tier overlay collapses throughput relative to the complete graph.
+Rows: shortest-path routing with n = 1 and n = 2, and dynamic routing
+(incrementally longer retry paths) with both — which the paper found makes
+things *worse* (longer paths lock more channels).
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, within_factor
+from repro.bench.netsim import NetworkSimulation, NetworkSimulationConfig
+from repro.network.topology import complete_graph_overlay, hub_and_spoke_overlay
+
+from conftest import report
+
+PAPER = {
+    # (routing, n): (throughput, latency ms, hops)
+    ("shortest", 1): (671, 540, 3.2),
+    ("shortest", 2): (210, 720, 3.2),
+    ("dynamic", 1): (235, 690, 5.4),
+    ("dynamic", 2): (54, 910, 5.4),
+}
+
+
+def run_row(routing: str, committee_size: int):
+    config = NetworkSimulationConfig(
+        overlay=hub_and_spoke_overlay(), committee_size=committee_size,
+        routing=routing, payment_count=8_000,
+    )
+    result = NetworkSimulation(config).run()
+    return result.throughput, result.average_latency, result.average_hops
+
+
+def sweep():
+    return {key: run_row(*key) for key in PAPER}
+
+
+def test_table3_hub_and_spoke(once):
+    measured = once(sweep)
+
+    results = []
+    for (routing, n), (throughput, latency, hops) in sorted(measured.items()):
+        paper_tp, paper_lat, paper_hops = PAPER[(routing, n)]
+        label = f"{routing} routing, n={n}"
+        results.append(ExperimentResult(
+            "Table 3", label, "throughput", throughput, paper_tp, "tx/s"))
+        results.append(ExperimentResult(
+            "Table 3", label, "avg hops", hops, paper_hops, "hops"))
+    report("Table 3: hub-and-spoke topology", results)
+
+    # Calibration anchor: no-FT shortest-path throughput near the paper.
+    assert within_factor(measured[("shortest", 1)][0], 671, 1.25)
+    # Fault tolerance costs ~2–4×.
+    ratio = measured[("shortest", 1)][0] / measured[("shortest", 2)][0]
+    assert 1.8 <= ratio <= 4.5, ratio
+    # Dynamic routing degrades throughput (the paper's 50–70 % finding;
+    # we assert the direction and a ≥15 % effect).
+    for n in (1, 2):
+        assert (measured[("dynamic", n)][0]
+                < 0.85 * measured[("shortest", n)][0]), n
+    # Dynamic routing uses longer paths on average.
+    assert measured[("dynamic", 1)][2] > measured[("shortest", 1)][2]
+
+
+def test_topology_collapse_vs_complete_graph(once):
+    """§7.4's headline: hub-and-spoke loses ~3 orders of magnitude against
+    a complete graph of the same size and fault tolerance."""
+
+    def both():
+        complete = NetworkSimulation(NetworkSimulationConfig(
+            overlay=complete_graph_overlay([f"m{i}" for i in range(20)]),
+            committee_size=1, payment_count=20_000,
+        )).run().throughput
+        hub = NetworkSimulation(NetworkSimulationConfig(
+            overlay=hub_and_spoke_overlay(), committee_size=1,
+            payment_count=8_000,
+        )).run().throughput
+        return complete, hub
+
+    complete, hub = once(both)
+    report("§7.4: topology comparison (20-node complete vs hub-and-spoke)", [
+        ExperimentResult("§7.4", "complete graph (20 nodes)", "throughput",
+                         complete, 1_500_000, "tx/s"),
+        ExperimentResult("§7.4", "hub-and-spoke", "throughput", hub, 671,
+                         "tx/s"),
+    ])
+    assert complete / hub > 500, f"collapse only {complete / hub:.0f}×"

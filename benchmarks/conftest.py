@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, comparison_table
+
+
+def report(title, results):
+    """Print a paper-vs-measured table (captured by pytest -s / tee)."""
+    print()
+    print(comparison_table(title, results))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy simulation exactly once under pytest-benchmark timing.
+
+    The network simulations are deterministic discrete-event runs; there
+    is no measurement noise to average away, and rounds would multiply
+    minutes of runtime for nothing.
+    """
+
+    def run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which need to build a wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Baseline payment-channel systems the paper compares against.
+
+* :mod:`~repro.baselines.lightning` — the Lightning Network: an executable
+  channel model (commitment transactions, revocation, the synchronous
+  justice window that Teechain eliminates) plus the timing/cost constants
+  the paper measured for LND.
+* :mod:`~repro.baselines.dmc` — Duplex Micropayment Channels cost model.
+* :mod:`~repro.baselines.sfmc` — Scalable Funding of Micropayment
+  Channels cost model.
+* :mod:`~repro.baselines.costmodel` — the Table 4 comparison generator.
+"""
+
+from repro.baselines.costmodel import CostRow, table4_rows, teechain_costs
+from repro.baselines.dmc import dmc_costs
+from repro.baselines.lightning import (
+    LightningChannel,
+    LightningTiming,
+    lightning_costs,
+)
+from repro.baselines.sfmc import sfmc_costs
+
+__all__ = [
+    "CostRow",
+    "LightningChannel",
+    "LightningTiming",
+    "dmc_costs",
+    "lightning_costs",
+    "sfmc_costs",
+    "table4_rows",
+    "teechain_costs",
+]

@@ -1,0 +1,134 @@
+"""Table 4: transactions and blockchain cost per payment channel.
+
+The Teechain entries come in two flavours:
+
+* the paper's analytic formulas (:func:`teechain_costs`), and
+* counted values from *actual* settlements executed on the simulated
+  chain (:func:`measure_teechain_lifecycle`), using the same cost metric
+  (:mod:`repro.blockchain.cost`).  The benchmark asserts they agree —
+  the formulas are cross-checked, not just restated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.baselines.dmc import dmc_costs
+from repro.baselines.lightning import lightning_costs
+from repro.baselines.sfmc import sfmc_costs
+from repro.blockchain.cost import blockchain_cost
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """One Table 4 row."""
+
+    system: str
+    bilateral_txs: float
+    bilateral_cost: float
+    unilateral_txs: float
+    unilateral_cost: float
+
+    def format(self) -> str:
+        return (f"{self.system:<28} {self.bilateral_txs:>8.2f} "
+                f"{self.bilateral_cost:>8.2f} {self.unilateral_txs:>10.2f} "
+                f"{self.unilateral_cost:>10.2f}")
+
+
+def teechain_costs(committee_n1: int = 3, committee_m1: int = 2,
+                   committee_n2: int = 3, committee_m2: int = 2
+                   ) -> Tuple[int, float, int, float]:
+    """Teechain's Table 4 entries (per paper §7.5).
+
+    * Bilateral (single deposit, off-chain settle): 1 transaction — the
+      funding deposit — at cost 1 + n/2 (one pubkey+signature pair to
+      spend the funding source, plus the n committee keys at half a pair
+      each).
+    * Unilateral (two deposits + on-chain settlement): 3 transactions at
+      the two funding costs plus the settlement's m1 + m2 signatures
+      (half a pair each) — the settlement pays P2PKH outputs, which add
+      no on-chain keys.
+    """
+    bilateral_txs = 1
+    bilateral_cost = 1 + committee_n1 / 2.0
+    unilateral_txs = 3
+    unilateral_cost = (
+        (1 + committee_n1 / 2.0)
+        + (1 + committee_n2 / 2.0)
+        + (committee_m1 + committee_m2) / 2.0
+    )
+    return bilateral_txs, bilateral_cost, unilateral_txs, unilateral_cost
+
+
+def table4_rows(sfmc_parties: int = 3, sfmc_channels: int = 2,
+                dmc_depth: int = 1,
+                committee: Tuple[int, int] = (2, 3)) -> List[CostRow]:
+    """Assemble Table 4 for a concrete parameterisation (the paper's
+    discussion uses 2-of-3 committee deposits)."""
+    m, n = committee
+    ln = lightning_costs()
+    dmc = dmc_costs(chain_depth=dmc_depth)
+    sfmc = sfmc_costs(parties=sfmc_parties, channels=sfmc_channels,
+                      chain_depth=dmc_depth)
+    teechain = teechain_costs(committee_n1=n, committee_m1=m,
+                              committee_n2=n, committee_m2=m)
+    return [
+        CostRow("LN", *ln),
+        CostRow(f"DMC (d={dmc_depth})", *dmc),
+        CostRow(f"SFMC (p={sfmc_parties}, n={sfmc_channels})", *sfmc),
+        CostRow(f"Teechain ({m}-of-{n} deposits)", *teechain),
+    ]
+
+
+def measure_teechain_lifecycle(committee_backups: int = 2,
+                               threshold: int = 2,
+                               bilateral: bool = True) -> Tuple[int, float]:
+    """Run a real channel lifecycle on the simulated chain and count its
+    on-chain footprint with the Table 4 metric.
+
+    Bilateral: one deposit, payments, off-chain settle → only the funding
+    deposit hits the chain.  Unilateral: two deposits, payments, on-chain
+    settlement → funding×2 + settlement.
+    """
+    from repro.core.node import TeechainNetwork
+
+    network = TeechainNetwork()
+    alice = network.create_node("cost-alice", funds=1_000_000)
+    bob = network.create_node("cost-bob", funds=1_000_000)
+    if committee_backups:
+        alice.attach_committee(backups=committee_backups,
+                               threshold=threshold)
+    channel = alice.open_channel(bob)
+    onchain = []
+
+    first = alice.create_deposit(100_000)
+    onchain.append(_funding_transaction(network, first))
+    alice.approve_and_associate(bob, first, channel)
+
+    if bilateral:
+        # Rebalance to neutral, settle off-chain: no further transactions.
+        alice.pay(channel, 10_000)
+        bob.pay(channel, 10_000)
+        settlement = alice.settle(channel)
+        assert settlement is None, "off-chain settle emitted a transaction"
+    else:
+        second = alice.create_deposit(50_000)
+        onchain.append(_funding_transaction(network, second))
+        alice.approve_and_associate(bob, second, channel)
+        alice.pay(channel, 10_000)
+        settlement = alice.settle(channel)
+        assert settlement is not None
+        network.mine()
+        onchain.append(settlement)
+
+    return len(onchain), blockchain_cost(onchain)
+
+
+def _funding_transaction(network, record):
+    """Recover the funding transaction of a deposit from the chain."""
+    for block in network.chain.blocks:
+        for transaction in block.transactions:
+            if transaction.txid == record.outpoint.txid:
+                return transaction
+    raise AssertionError("funding transaction not found on chain")

@@ -1,0 +1,41 @@
+"""Duplex Micropayment Channels (DMC) cost model — Table 4.
+
+From the paper (§7.5): "the number of transactions required for each
+channel ranges from 2 to 1+d+2, where d ≥ 1 defines the DMC transaction
+chain length.  Since each DMC transaction requires 2 public keys and 2
+signatures, the associated cost is the number of transactions multiplied
+by 2."
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ReproError
+
+
+def dmc_transactions(bilateral: bool, chain_depth: int = 1) -> int:
+    """Number of on-chain transactions to open and close one DMC channel.
+
+    ``chain_depth`` is the paper's d ≥ 1 (the invalidation-tree depth
+    actually used at closing time)."""
+    if chain_depth < 1:
+        raise ReproError(f"DMC chain depth must be ≥ 1, got {chain_depth}")
+    if bilateral:
+        return 2
+    return 1 + chain_depth + 2
+
+
+def dmc_cost(bilateral: bool, chain_depth: int = 1) -> float:
+    """Blockchain cost in (pubkey+signature)-pair units: 2 per
+    transaction."""
+    return 2.0 * dmc_transactions(bilateral, chain_depth)
+
+
+def dmc_costs(chain_depth: int = 1) -> Tuple[int, float, int, float]:
+    """Table 4 row: (bilateral #txs, bilateral cost, unilateral #txs,
+    unilateral cost)."""
+    return (
+        dmc_transactions(True, chain_depth), dmc_cost(True, chain_depth),
+        dmc_transactions(False, chain_depth), dmc_cost(False, chain_depth),
+    )

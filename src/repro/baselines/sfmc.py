@@ -1,0 +1,58 @@
+"""Scalable Funding of Micropayment Channels (SFMC) cost model — Table 4.
+
+From the paper (§7.5): channel-group constructions share funding
+transactions across n channels among p > 2 parties.  Per channel:
+
+* bilateral close: 2/n transactions at cost 2p/n;
+* unilateral close: (1+i)/n + (1+d+2) transactions at cost
+  (1+i)(p/n) + 2(1+d+2), where i ≥ 1 and d ≥ 1 are the funding and
+  transaction chain lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ReproError
+
+
+def _check(parties: int, channels: int, funding_depth: int,
+           chain_depth: int) -> None:
+    if parties <= 2:
+        raise ReproError(f"SFMC groups need p > 2 parties, got {parties}")
+    if channels < 1:
+        raise ReproError(f"SFMC needs n ≥ 1 channels, got {channels}")
+    if funding_depth < 1 or chain_depth < 1:
+        raise ReproError("SFMC depths i and d must be ≥ 1")
+
+
+def sfmc_transactions(bilateral: bool, parties: int, channels: int,
+                      funding_depth: int = 1, chain_depth: int = 1) -> float:
+    """Per-channel on-chain transaction count (fractional: shared
+    transactions are amortised over the n channels)."""
+    _check(parties, channels, funding_depth, chain_depth)
+    if bilateral:
+        return 2.0 / channels
+    return (1 + funding_depth) / channels + (1 + chain_depth + 2)
+
+
+def sfmc_cost(bilateral: bool, parties: int, channels: int,
+              funding_depth: int = 1, chain_depth: int = 1) -> float:
+    """Per-channel blockchain cost in pair units."""
+    _check(parties, channels, funding_depth, chain_depth)
+    if bilateral:
+        return 2.0 * parties / channels
+    return ((1 + funding_depth) * (parties / channels)
+            + 2.0 * (1 + chain_depth + 2))
+
+
+def sfmc_costs(parties: int = 3, channels: int = 2, funding_depth: int = 1,
+               chain_depth: int = 1) -> Tuple[float, float, float, float]:
+    """Table 4 row for a parameterisation: (bilateral #txs, bilateral cost,
+    unilateral #txs, unilateral cost)."""
+    return (
+        sfmc_transactions(True, parties, channels, funding_depth, chain_depth),
+        sfmc_cost(True, parties, channels, funding_depth, chain_depth),
+        sfmc_transactions(False, parties, channels, funding_depth, chain_depth),
+        sfmc_cost(False, parties, channels, funding_depth, chain_depth),
+    )

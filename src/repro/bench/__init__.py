@@ -1,0 +1,28 @@
+"""Benchmark harness: timing/throughput models, the contention simulator,
+and paper-vs-measured reporting.
+
+* :mod:`~repro.bench.calibration` — every calibrated constant, with its
+  provenance (which paper number anchors it).
+* :mod:`~repro.bench.timing` — analytic-on-simulated-topology models for
+  Table 1, Table 2, Figure 4 and the §7.3 multi-hop throughput numbers.
+* :mod:`~repro.bench.netsim` — the discrete-event payment-network
+  simulator behind Figure 6, Table 3 and Figure 7 (channel locking,
+  retries, sliding windows, dynamic routing, temporary channels).
+* :mod:`~repro.bench.harness` — experiment bookkeeping and formatted
+  paper-vs-measured tables (consumed by EXPERIMENTS.md).
+"""
+
+from repro.bench.calibration import Calibration
+from repro.bench.harness import ExperimentResult, comparison_table
+from repro.bench.netsim import NetworkSimulation, NetworkSimulationConfig
+from repro.bench.timing import ChannelTimingModel, MultihopTimingModel
+
+__all__ = [
+    "Calibration",
+    "ChannelTimingModel",
+    "ExperimentResult",
+    "MultihopTimingModel",
+    "NetworkSimulation",
+    "NetworkSimulationConfig",
+    "comparison_table",
+]

@@ -1,0 +1,131 @@
+"""Calibrated constants for the performance models.
+
+Our substrate is a simulator, not the authors' 33-machine SGX testbed, so
+per-operation CPU costs cannot be measured — they are *calibrated*, each
+against exactly one anchor number from the paper, and every other number
+in EXPERIMENTS.md is a model output.  Provenance of each constant:
+
+=====================================  ======================================
+Constant                               Anchor
+=====================================  ======================================
+``payment_cpu_seconds``                Table 1, "No fault tolerance":
+                                       130,311 tx/s → 1/130,311 s per payment
+``batched_payment_cpu_seconds``        Table 1, "Batching (no FT)":
+                                       150,311 tx/s
+``batched_replicated_cpu_seconds``     Table 1, "Batching (two replicas)":
+                                       135,331 tx/s
+``batched_stable_cpu_seconds``         Table 1, "Batching (stable storage)":
+                                       145,786 tx/s
+``state_update_bytes``                 Table 1, "One replica": 34,115 tx/s
+                                       over the US↔IL 90 Mb/s bottleneck →
+                                       90e6/8/34,115 ≈ 330 B per replicated
+                                       state update.  This single constant
+                                       *predicts* (not fits) the paper's
+                                       observation that 2 and 3 replicas
+                                       stay ≈33 k tx/s: the bottleneck link
+                                       is unchanged.
+``counter_increment_seconds``          §7 implementation note: the paper
+                                       emulates SGX monotonic counters with
+                                       a 100 ms delay (10 tx/s, Table 1
+                                       "Stable storage")
+``batch_window_seconds``               §7.2: 100 ms client-side batching
+``multihop_message_seconds``           Fig. 4, LN line: ≈0.65 s/hop at 1.5
+                                       round trips (3 messages) per hop →
+                                       ≈0.217 s per protocol message
+                                       (transatlantic link + LND
+                                       commitment-machine processing)
+``channel_create_seconds``             Table 2: 2,810 ms Teechain channel
+                                       creation (attestation + DH + ack
+                                       exchange)
+``outsourced_extra_seconds``           Table 2: outsourced creation adds
+                                       ≈1.5 s of client-side quote
+                                       verification
+``node_capacity_no_ft``                Fig. 6: 2.2 M tx/s across 30
+                                       machines → ≈73 k tx/s per machine
+                                       under the full network workload
+``hub_spoke_channel_parallelism``      Table 3: 671 tx/s with no fault
+                                       tolerance — the per-link payment
+                                       parallelism (concurrent multi-hop
+                                       payments a channel sustains via
+                                       intra-channel scheduling) that makes
+                                       the lock-contention simulator hit
+                                       the anchor; Fig. 7's temporary-
+                                       channel scaling and Table 3's
+                                       dynamic-routing degradation are
+                                       model outputs on top of it.
+=====================================  ======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All calibrated constants (seconds, bytes, tx/s)."""
+
+    # CPU costs per payment (seconds).
+    payment_cpu_seconds: float = 1.0 / 130_311
+    batched_payment_cpu_seconds: float = 1.0 / 150_311
+    batched_replicated_cpu_seconds: float = 1.0 / 135_331
+    batched_stable_cpu_seconds: float = 1.0 / 145_786
+
+    # Replication.
+    state_update_bytes: float = 330.0
+    bottleneck_bandwidth_bits: float = 90e6  # US↔IL, Fig. 3
+
+    # Stable storage.
+    counter_increment_seconds: float = 0.100
+
+    # Batching.
+    batch_window_seconds: float = 0.100
+
+    # Multi-hop.
+    multihop_message_seconds: float = 0.65 / 3.0
+    teechain_messages_per_hop: int = 6   # 3 round trips (§7.3)
+    lightning_messages_per_hop: int = 3  # 1.5 round trips (§7.3)
+
+    # Channel operations (Table 2).
+    channel_create_seconds: float = 2.810
+    replica_create_seconds: float = 2.765
+    outsourced_extra_seconds: float = 1.512
+    associate_base_seconds: float = 0.101
+
+    # Network-scale experiments.
+    node_capacity_no_ft: float = 73_000.0
+    hub_spoke_channel_parallelism: int = 112
+
+    def replication_throughput(self) -> float:
+        """Payments/s sustainable through the replication bottleneck link:
+        each unbatched payment pushes one state update."""
+        return self.bottleneck_bandwidth_bits / (
+            8.0 * self.state_update_bytes
+        )
+
+    def node_capacity(self, committee_size: int) -> float:
+        """Per-node payment capacity under network workload (Fig. 6).
+
+        n = 1 is CPU-bound at the calibrated full-workload rate; n ≥ 2 is
+        bound by replication bandwidth, with a small per-extra-member
+        overhead reproducing the paper's ≈9 % gap between n=2 and n=3."""
+        if committee_size <= 1:
+            return self.node_capacity_no_ft
+        replicated = self.replication_throughput()
+        overhead = 0.91 ** (committee_size - 2)
+        return replicated * overhead
+
+
+DEFAULT_CALIBRATION = Calibration()
+
+
+# Committee-chain replica placements per party site (Table 1's ladder:
+# replicas go to IL first, then UK, then US — §7.2's "committee members
+# are deployed in different failure domains").
+REPLICA_PLACEMENTS: Dict[int, Tuple[str, ...]] = {
+    0: (),
+    1: ("IL",),
+    2: ("IL", "UK"),
+    3: ("IL", "UK", "US"),
+}

@@ -1,0 +1,57 @@
+"""Experiment bookkeeping: paper-vs-measured comparison tables.
+
+Every benchmark produces :class:`ExperimentResult` rows; the formatted
+tables are printed by the bench scripts and copied into EXPERIMENTS.md.
+Ratios flag where the reproduction diverges from the paper — the claim is
+shape fidelity (who wins, by roughly what factor), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One measured row alongside its paper value."""
+
+    experiment: str
+    configuration: str
+    metric: str
+    measured: float
+    paper: Optional[float] = None
+    unit: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+    def format(self) -> str:
+        paper = f"{self.paper:>12,.1f}" if self.paper is not None else " " * 12
+        ratio = f"{self.ratio:>6.2f}×" if self.ratio is not None else " " * 7
+        return (f"{self.configuration:<34} {self.measured:>12,.1f} "
+                f"{paper} {ratio}  {self.metric} [{self.unit}]")
+
+
+def comparison_table(title: str,
+                     results: Sequence[ExperimentResult]) -> str:
+    """Render results as a fixed-width table with a header."""
+    lines = [
+        title,
+        "=" * len(title),
+        f"{'configuration':<34} {'measured':>12} {'paper':>12} {'ratio':>7}",
+        "-" * 78,
+    ]
+    lines.extend(result.format() for result in results)
+    return "\n".join(lines)
+
+
+def within_factor(measured: float, paper: float, factor: float) -> bool:
+    """Shape check: measured within ``factor``× of the paper value."""
+    if paper == 0:
+        return measured == 0
+    ratio = measured / paper
+    return 1.0 / factor <= ratio <= factor

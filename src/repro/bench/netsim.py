@@ -1,0 +1,329 @@
+"""Discrete-event payment-network simulator (Figure 6, Table 3, Figure 7).
+
+Reproduces the §7.4 experiments:
+
+* **Complete graph** (Fig. 6): every payment is single-hop; throughput is
+  bound by per-node processing/replication capacity and scales linearly
+  with node count.
+* **Hub-and-spoke** (Table 3): multi-hop payments must *lock* every
+  channel along their path for the payment's duration, so contention on
+  hub links collapses throughput by ~1000× relative to the complete graph
+  at the same scale.  Failed payments retry after a random 100–200 ms
+  backoff (the paper's policy); each machine runs a sliding window of
+  W = 1000 outstanding payments.
+* **Dynamic routing** (Table 3): retries take incrementally longer paths —
+  which locks *more* channels per payment and degrades throughput further,
+  exactly the paper's finding.
+* **Temporary channels** (Fig. 7): links between tier-1/tier-2 nodes gain
+  G extra channels, multiplying their parallelism; tier-3 links stay
+  single, producing the paper's diminishing returns.
+
+The per-link parallelism of a primary channel is a calibrated constant
+(see :mod:`repro.bench.calibration`); everything else — ratios between
+fault-tolerance modes, routing policies, and temporary-channel counts —
+emerges from the simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.bench.calibration import Calibration
+from repro.core.routing import iter_paths_by_length, shortest_path
+from repro.errors import ReproError, RoutingError
+from repro.network.topology import Overlay
+from repro.simulation.scheduler import Scheduler
+from repro.workloads.assignment import (
+    assign_addresses_balanced,
+    assign_addresses_skewed,
+)
+from repro.workloads.bitcoin_trace import Payment, generate_trace
+
+Link = FrozenSet[str]
+
+
+@dataclass
+class NetworkSimulationConfig:
+    """Parameters of one §7.4 experiment run."""
+
+    overlay: Overlay
+    committee_size: int = 1          # n: 1 = no fault tolerance
+    payment_count: int = 20_000
+    address_count: int = 3_000
+    window: int = 1_000              # sliding window W per machine
+    inter_node_one_way: float = 0.050  # 100 ms RTT emulation (§7.4)
+    retry_min: float = 0.100
+    retry_max: float = 0.200
+    max_retries: int = 40
+    routing: str = "shortest"        # or "dynamic"
+    dynamic_path_limit: int = 4
+    temporary_channels: int = 0      # Fig. 7's G (tier-1/2 links only)
+    seed: int = 0
+    calibration: Calibration = field(default_factory=Calibration)
+
+    def __post_init__(self) -> None:
+        if self.routing not in ("shortest", "dynamic"):
+            raise ReproError(f"unknown routing policy {self.routing!r}")
+        if self.committee_size < 1:
+            raise ReproError("committee size must be ≥ 1")
+
+
+@dataclass
+class NetworkResult:
+    """Aggregate metrics of one run."""
+
+    completed: int
+    failed: int
+    makespan: float
+    total_latency: float
+    total_hops: int
+    retries: int
+
+    @property
+    def throughput(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.completed / self.makespan
+
+    @property
+    def average_latency(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.total_latency / self.completed
+
+    @property
+    def average_hops(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.total_hops / self.completed
+
+
+@dataclass
+class _PendingPayment:
+    payment: Payment
+    sender_machine: str
+    recipient_machine: str
+    issued_at: float = 0.0
+    attempts: int = 0
+
+
+class NetworkSimulation:
+    """One experiment run over an overlay."""
+
+    def __init__(self, config: NetworkSimulationConfig) -> None:
+        self.config = config
+        self.scheduler = Scheduler()
+        self._rng = random.Random(config.seed)
+        overlay = config.overlay
+        self._is_complete_graph = self._detect_complete(overlay)
+
+        # Workload: trace + address assignment per the topology (§7.4).
+        trace = generate_trace(config.payment_count,
+                               address_count=config.address_count,
+                               seed=config.seed)
+        if self._is_complete_graph:
+            weights: Dict[str, int] = {}
+            for payment in trace:
+                weights[payment.sender] = weights.get(payment.sender, 0) + 1
+                weights.setdefault(payment.recipient, 0)
+            assignment = assign_addresses_balanced(weights, overlay.nodes)
+        else:
+            assignment = assign_addresses_skewed(
+                self._trace_addresses(trace), overlay.tier_of,
+                seed=config.seed,
+            )
+        self._queues: Dict[str, List[_PendingPayment]] = {
+            node: [] for node in overlay.nodes
+        }
+        self._skipped = 0
+        for payment in trace:
+            sender = assignment[payment.sender]
+            recipient = assignment[payment.recipient]
+            if sender == recipient:
+                self._skipped += 1  # local transfer: no network payment
+                continue
+            self._queues[sender].append(
+                _PendingPayment(payment, sender, recipient)
+            )
+
+        # Channel-slot capacities per link.
+        self._capacity: Dict[Link, int] = {}
+        self._in_use: Dict[Link, int] = {}
+        base = config.calibration.hub_spoke_channel_parallelism
+        for a, b in overlay.channels:
+            link = frozenset((a, b))
+            slots = base
+            if (config.temporary_channels
+                    and overlay.tier_of.get(a, 3) <= 2
+                    and overlay.tier_of.get(b, 3) <= 2):
+                slots = base * (1 + config.temporary_channels)
+            self._capacity[link] = slots
+            self._in_use[link] = 0
+
+        # Per-node serial processing for the complete-graph mode.
+        self._node_free_at: Dict[str, float] = {
+            node: 0.0 for node in overlay.nodes
+        }
+        self._outstanding: Dict[str, int] = {
+            node: 0 for node in overlay.nodes
+        }
+        self._route_cache: Dict[Tuple[str, str, int], Optional[List[str]]] = {}
+
+        self.completed = 0
+        self.failed = 0
+        self.retries = 0
+        self.total_latency = 0.0
+        self.total_hops = 0
+        self._first_issue: Optional[float] = None
+        self._last_completion = 0.0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _detect_complete(overlay: Overlay) -> bool:
+        nodes = len(overlay.nodes)
+        return len(overlay.channels) == nodes * (nodes - 1) // 2
+
+    @staticmethod
+    def _trace_addresses(trace: Sequence[Payment]) -> List[str]:
+        addresses = set()
+        for payment in trace:
+            addresses.add(payment.sender)
+            addresses.add(payment.recipient)
+        return sorted(addresses)
+
+    def _payment_duration(self, hops: int) -> float:
+        """Time the payment holds its channel slots: six stage messages
+        per hop, each paying one-way wire latency plus the per-stage
+        replication cost of the committee chain."""
+        calibration = self.config.calibration
+        per_stage = self.config.inter_node_one_way
+        if self.config.committee_size > 1:
+            # Replication runs over the same emulated 100 ms links; a
+            # chain of n-1 backups costs (n-1) RTTs per stage update.
+            per_stage += ((self.config.committee_size - 1)
+                          * 2 * self.config.inter_node_one_way)
+        return calibration.teechain_messages_per_hop * hops * per_stage
+
+    def _route(self, source: str, target: str,
+               attempt: int) -> Optional[List[str]]:
+        if self.config.routing == "shortest":
+            attempt = 0
+        else:
+            attempt = min(attempt, self.config.dynamic_path_limit - 1)
+        key = (source, target, attempt)
+        if key not in self._route_cache:
+            try:
+                if self.config.routing == "shortest":
+                    path = shortest_path(self.config.overlay, source, target)
+                else:
+                    paths = list(iter_paths_by_length(
+                        self.config.overlay, source, target,
+                        limit=attempt + 1,
+                    ))
+                    path = paths[min(attempt, len(paths) - 1)]
+            except RoutingError:
+                path = None
+            self._route_cache[key] = path
+        return self._route_cache[key]
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(self) -> NetworkResult:
+        for node in self.config.overlay.nodes:
+            self._fill_window(node, at=0.0)
+        self.scheduler.run_until_idle(max_events=50_000_000)
+        makespan = self._last_completion - (self._first_issue or 0.0)
+        return NetworkResult(
+            completed=self.completed,
+            failed=self.failed,
+            makespan=makespan,
+            total_latency=self.total_latency,
+            total_hops=self.total_hops,
+            retries=self.retries,
+        )
+
+    def _fill_window(self, node: str, at: float) -> None:
+        queue = self._queues[node]
+        while queue and self._outstanding[node] < self.config.window:
+            pending = queue.pop(0)
+            self._outstanding[node] += 1
+            pending.issued_at = max(at, self.scheduler.now)
+            if self._first_issue is None:
+                self._first_issue = pending.issued_at
+            self._attempt(pending)
+
+    def _attempt(self, pending: _PendingPayment) -> None:
+        if self._is_complete_graph:
+            self._attempt_direct(pending)
+        else:
+            self._attempt_multihop(pending)
+
+    # -- complete graph: node-capacity bound -----------------------------
+
+    def _attempt_direct(self, pending: _PendingPayment) -> None:
+        rate = self.config.calibration.node_capacity(
+            self.config.committee_size
+        )
+        service = 1.0 / rate
+        node = pending.sender_machine
+        start = max(self.scheduler.now, self._node_free_at[node])
+        finish = start + service
+        self._node_free_at[node] = finish
+        self.scheduler.call_at(
+            finish, lambda: self._complete(pending, hops=1)
+        )
+
+    # -- hub-and-spoke: channel locking -----------------------------------
+
+    def _attempt_multihop(self, pending: _PendingPayment) -> None:
+        pending.attempts += 1
+        path = self._route(pending.sender_machine, pending.recipient_machine,
+                           pending.attempts - 1)
+        if path is None:
+            self._fail(pending)
+            return
+        links = [frozenset((path[i], path[i + 1]))
+                 for i in range(len(path) - 1)]
+        if any(self._in_use[link] >= self._capacity[link] for link in links):
+            self._schedule_retry(pending)
+            return
+        for link in links:
+            self._in_use[link] += 1
+        hops = len(links)
+        duration = self._payment_duration(hops)
+
+        def release() -> None:
+            for link in links:
+                self._in_use[link] -= 1
+            self._complete(pending, hops=hops)
+
+        self.scheduler.call_after(duration, release)
+
+    def _schedule_retry(self, pending: _PendingPayment) -> None:
+        if pending.attempts >= self.config.max_retries:
+            self._fail(pending)
+            return
+        self.retries += 1
+        delay = self._rng.uniform(self.config.retry_min,
+                                  self.config.retry_max)
+        self.scheduler.call_after(delay, lambda: self._attempt(pending))
+
+    def _complete(self, pending: _PendingPayment, hops: int) -> None:
+        self.completed += 1
+        self.total_hops += hops
+        self.total_latency += self.scheduler.now - pending.issued_at
+        self._last_completion = self.scheduler.now
+        self._release_window(pending.sender_machine)
+
+    def _fail(self, pending: _PendingPayment) -> None:
+        self.failed += 1
+        self._release_window(pending.sender_machine)
+
+    def _release_window(self, node: str) -> None:
+        self._outstanding[node] -= 1
+        self._fill_window(node, at=self.scheduler.now)

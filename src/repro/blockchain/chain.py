@@ -1,0 +1,215 @@
+"""The blockchain: blocks, mempool, validation, confirmations.
+
+The chain is linear (no reorgs): Teechain's guarantees are about *unbounded
+write latency*, not fork races, and the paper's evaluation treats
+confirmation as a depth threshold.  Fork-like behaviour that matters —
+conflicting settlements racing for inclusion — is modelled exactly, because
+the mempool and blocks enforce first-spend-wins over outpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.blockchain.script import LockingScript
+from repro.blockchain.transaction import (
+    OutPoint,
+    Transaction,
+    make_coinbase,
+)
+from repro.blockchain.utxo import UTXOEntry, UTXOSet
+from repro.crypto.hashing import merkle_root, sha256d
+from repro.errors import DoubleSpend, InvalidTransaction, UnknownOutput
+
+
+@dataclass(frozen=True)
+class Block:
+    """A mined block."""
+
+    height: int
+    previous_hash: str
+    transactions: Tuple[Transaction, ...]
+    timestamp: float
+
+    @property
+    def block_hash(self) -> str:
+        txids = [bytes.fromhex(tx.txid) for tx in self.transactions]
+        header = (
+            self.previous_hash.encode()
+            + merkle_root(txids)
+            + repr(self.timestamp).encode()
+            + str(self.height).encode()
+        )
+        return sha256d(header).hex()
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(height={self.height}, {len(self.transactions)} txs, "
+            f"hash={self.block_hash[:12]}…)"
+        )
+
+
+GENESIS_HASH = "0" * 64
+
+
+class Blockchain:
+    """Validating ledger with a mempool.
+
+    Lifecycle: ``submit`` validates a transaction against the UTXO set and
+    current mempool and queues it; ``mine_block`` moves queued transactions
+    into a block.  ``confirmations(txid)`` counts depth.  A transaction that
+    conflicts with anything already accepted raises :class:`DoubleSpend` —
+    callers distinguishing "my settlement lost the race" depend on that.
+    """
+
+    def __init__(self) -> None:
+        self.utxos = UTXOSet()
+        self.blocks: List[Block] = []
+        self._mempool: List[Transaction] = []
+        self._mempool_ids: Set[str] = set()
+        self._mempool_spends: Dict[OutPoint, str] = {}
+        self._tx_height: Dict[str, int] = {}
+        self._coinbase_nonce = 0
+        self._listeners: List[Callable[[Block], None]] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Height of the tip (0 = no blocks yet)."""
+        return len(self.blocks)
+
+    @property
+    def tip_hash(self) -> str:
+        return self.blocks[-1].block_hash if self.blocks else GENESIS_HASH
+
+    def mempool_size(self) -> int:
+        return len(self._mempool)
+
+    def in_mempool(self, txid: str) -> bool:
+        return txid in self._mempool_ids
+
+    def contains(self, txid: str) -> bool:
+        """Whether the transaction is confirmed in some block."""
+        return txid in self._tx_height
+
+    def confirmations(self, txid: str) -> int:
+        """Blocks confirming ``txid`` (1 = in the tip block; 0 = not mined)."""
+        height = self._tx_height.get(txid)
+        if height is None:
+            return 0
+        return self.height - height + 1
+
+    def balance(self, address: str) -> int:
+        return self.utxos.balance(address)
+
+    def outputs_for(self, address: str) -> List[UTXOEntry]:
+        return self.utxos.outputs_for(address)
+
+    def total_minted(self) -> int:
+        """Sum of all coinbase value ever created (conservation checks)."""
+        minted = 0
+        for block in self.blocks:
+            for transaction in block.transactions:
+                if transaction.is_coinbase:
+                    minted += transaction.total_output_value()
+        return minted
+
+    # ------------------------------------------------------------------
+    # Validation and submission
+    # ------------------------------------------------------------------
+
+    def validate(self, transaction: Transaction) -> None:
+        """Full validation against the confirmed UTXO set and the mempool.
+
+        Raises :class:`InvalidTransaction` / :class:`DoubleSpend` /
+        :class:`UnknownOutput`; returns ``None`` on success.
+        """
+        if transaction.is_coinbase:
+            raise InvalidTransaction("coinbase can only be created by the miner")
+        digest = transaction.sighash()
+        input_value = 0
+        for tx_input in transaction.inputs:
+            if tx_input.outpoint in self._mempool_spends:
+                raise DoubleSpend(
+                    f"{tx_input.outpoint} already spent in mempool by "
+                    f"{self._mempool_spends[tx_input.outpoint][:12]}…"
+                )
+            entry = self.utxos.get(tx_input.outpoint)  # raises if spent/unknown
+            if not entry.script.verify_witness(digest, tx_input.witness):
+                raise InvalidTransaction(
+                    f"witness for {tx_input.outpoint} does not satisfy its script"
+                )
+            input_value += entry.value
+        if transaction.total_output_value() > input_value:
+            raise InvalidTransaction(
+                f"outputs ({transaction.total_output_value()}) exceed "
+                f"inputs ({input_value})"
+            )
+
+    def submit(self, transaction: Transaction) -> str:
+        """Validate and enqueue a transaction.  Idempotent on txid."""
+        txid = transaction.txid
+        if txid in self._mempool_ids or txid in self._tx_height:
+            return txid
+        self.validate(transaction)
+        self._mempool.append(transaction)
+        self._mempool_ids.add(txid)
+        for outpoint in transaction.spent_outpoints():
+            self._mempool_spends[outpoint] = txid
+        return txid
+
+    # ------------------------------------------------------------------
+    # Mining
+    # ------------------------------------------------------------------
+
+    def mint(self, script: LockingScript, value: int) -> Transaction:
+        """Queue a coinbase minting ``value`` into ``script``.
+
+        Simulation bootstrap: endows accounts before an experiment.  The
+        coinbase is included in the next mined block."""
+        self._coinbase_nonce += 1
+        coinbase = make_coinbase(script, value, nonce=self._coinbase_nonce)
+        self._mempool.insert(0, coinbase)
+        self._mempool_ids.add(coinbase.txid)
+        return coinbase
+
+    def mine_block(self, timestamp: float = 0.0, limit: Optional[int] = None) -> Block:
+        """Mine queued transactions into a new block.
+
+        ``limit`` caps block size (transactions per block); remaining
+        transactions stay queued, modelling congestion.
+        """
+        selected = self._mempool[:limit] if limit is not None else list(self._mempool)
+        remaining = self._mempool[len(selected):]
+        height = self.height + 1
+        block = Block(
+            height=height,
+            previous_hash=self.tip_hash,
+            transactions=tuple(selected),
+            timestamp=timestamp,
+        )
+        for transaction in selected:
+            self.utxos.apply_transaction(transaction, height)
+            self._tx_height[transaction.txid] = height
+            self._mempool_ids.discard(transaction.txid)
+            for outpoint in transaction.spent_outpoints():
+                self._mempool_spends.pop(outpoint, None)
+        self._mempool = remaining
+        self.blocks.append(block)
+        for listener in list(self._listeners):
+            listener(block)
+        return block
+
+    def subscribe(self, listener: Callable[[Block], None]) -> None:
+        """Register a callback invoked after each mined block."""
+        self._listeners.append(listener)
+
+    def __repr__(self) -> str:
+        return (
+            f"Blockchain(height={self.height}, mempool={len(self._mempool)}, "
+            f"utxos={len(self.utxos)})"
+        )

@@ -1,0 +1,107 @@
+"""The unspent-transaction-output set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.blockchain.script import LockingScript
+from repro.blockchain.transaction import OutPoint, Transaction, TxOutput
+from repro.errors import DoubleSpend, UnknownOutput
+
+
+@dataclass(frozen=True)
+class UTXOEntry:
+    """One unspent output plus the height it was confirmed at."""
+
+    outpoint: OutPoint
+    output: TxOutput
+    height: int
+
+    @property
+    def value(self) -> int:
+        return self.output.value
+
+    @property
+    def script(self) -> LockingScript:
+        return self.output.script
+
+
+class UTXOSet:
+    """Tracks unspent outputs and enforces single-spend.
+
+    The set also remembers *which* outpoints were ever spent so that a
+    late-arriving conflicting transaction is classified as a
+    :class:`DoubleSpend` (the error class the PoPT tests assert on) rather
+    than a generic :class:`UnknownOutput`.
+    """
+
+    def __init__(self) -> None:
+        self._unspent: Dict[OutPoint, UTXOEntry] = {}
+        self._spent: Dict[OutPoint, str] = {}  # outpoint -> spending txid
+        self._by_address: Dict[str, set] = {}
+
+    def __len__(self) -> int:
+        return len(self._unspent)
+
+    def __contains__(self, outpoint: OutPoint) -> bool:
+        return outpoint in self._unspent
+
+    def get(self, outpoint: OutPoint) -> UTXOEntry:
+        """Look up an unspent output; raises for spent or unknown ones."""
+        entry = self._unspent.get(outpoint)
+        if entry is not None:
+            return entry
+        if outpoint in self._spent:
+            raise DoubleSpend(
+                f"{outpoint} already spent by {self._spent[outpoint][:12]}…"
+            )
+        raise UnknownOutput(f"{outpoint} does not exist")
+
+    def spender_of(self, outpoint: OutPoint) -> Optional[str]:
+        """txid that spent ``outpoint``, or ``None`` if unspent/unknown."""
+        return self._spent.get(outpoint)
+
+    def apply_transaction(self, transaction: Transaction, height: int) -> None:
+        """Atomically consume inputs and add outputs.
+
+        Validation (scripts, conflicts) happens in
+        :class:`~repro.blockchain.chain.Blockchain`; this method still
+        re-checks spendability so the set can never go inconsistent."""
+        for outpoint in transaction.spent_outpoints():
+            self.get(outpoint)  # raises on double spend / unknown
+        for outpoint in transaction.spent_outpoints():
+            entry = self._unspent.pop(outpoint)
+            self._spent[outpoint] = transaction.txid
+            self._by_address[entry.script.destination()].discard(outpoint)
+        for index, output in enumerate(transaction.outputs):
+            outpoint = transaction.outpoint(index)
+            entry = UTXOEntry(outpoint, output, height)
+            self._unspent[outpoint] = entry
+            self._by_address.setdefault(output.script.destination(), set()).add(
+                outpoint
+            )
+
+    def would_conflict(self, transaction: Transaction) -> bool:
+        """Whether any input of ``transaction`` is already spent."""
+        return any(
+            outpoint in self._spent for outpoint in transaction.spent_outpoints()
+        )
+
+    def balance(self, address: str) -> int:
+        """Total unspent value locked to ``address``."""
+        outpoints = self._by_address.get(address, set())
+        return sum(self._unspent[outpoint].value for outpoint in outpoints)
+
+    def outputs_for(self, address: str) -> List[UTXOEntry]:
+        """All unspent entries paying ``address``, oldest first."""
+        outpoints = self._by_address.get(address, set())
+        entries = [self._unspent[outpoint] for outpoint in outpoints]
+        return sorted(entries, key=lambda entry: (entry.height, entry.outpoint))
+
+    def __iter__(self) -> Iterator[UTXOEntry]:
+        return iter(self._unspent.values())
+
+    def total_value(self) -> int:
+        """Sum of all unspent value (conservation-of-value invariant)."""
+        return sum(entry.value for entry in self._unspent.values())

@@ -1,0 +1,75 @@
+"""Client-side transaction batching — paper §7.2.
+
+"Both LN and Teechain can optionally batch transactions at the client
+side, merging multiple payments into a single payment before sending — at
+the cost of additional latency."  The paper batches for 100 ms.
+
+A :class:`PaymentBatcher` queues logical payments per channel and flushes
+them as one protocol payment carrying ``batch_count`` (so throughput
+accounting still sees every logical payment).  In simulated mode it
+self-schedules a flush every window; in instant mode callers flush
+explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import PaymentError
+from repro.simulation.scheduler import Event, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import TeechainNode
+
+DEFAULT_BATCH_WINDOW = 0.100  # seconds, the paper's batching delay
+
+
+@dataclass
+class _PendingBatch:
+    total_amount: int = 0
+    count: int = 0
+
+
+class PaymentBatcher:
+    """Batches a node's outgoing channel payments."""
+
+    def __init__(self, node: "TeechainNode",
+                 window: float = DEFAULT_BATCH_WINDOW,
+                 scheduler: Optional[Scheduler] = None) -> None:
+        self.node = node
+        self.window = window
+        self.scheduler = scheduler
+        self._pending: Dict[str, _PendingBatch] = {}
+        self._timer: Optional[Event] = None
+        self.batches_flushed = 0
+        self.payments_batched = 0
+
+    def submit(self, channel_id: str, amount: int) -> None:
+        """Queue one logical payment."""
+        if amount <= 0:
+            raise PaymentError(f"amount must be positive, got {amount}")
+        batch = self._pending.setdefault(channel_id, _PendingBatch())
+        batch.total_amount += amount
+        batch.count += 1
+        self.payments_batched += 1
+        if self.scheduler is not None and self._timer is None:
+            self._timer = self.scheduler.call_after(self.window, self.flush)
+
+    def pending_count(self, channel_id: str) -> int:
+        batch = self._pending.get(channel_id)
+        return batch.count if batch else 0
+
+    def flush(self) -> int:
+        """Send every pending batch as a single payment per channel.
+
+        Returns the number of logical payments flushed."""
+        self._timer = None
+        flushed = 0
+        pending, self._pending = self._pending, {}
+        for channel_id, batch in pending.items():
+            self.node.pay(channel_id, batch.total_amount,
+                          batch_count=batch.count)
+            self.batches_flushed += 1
+            flushed += batch.count
+        return flushed

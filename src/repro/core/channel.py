@@ -1,0 +1,14 @@
+"""Public entry point for the channel protocol.
+
+The implementation of Algorithm 1 lives in
+:mod:`repro.core.channel_base` (:class:`ChannelProtocol`); Algorithm 2 is
+mixed in by :mod:`repro.core.multihop`.  :class:`TeechainEnclave` — the
+program a :class:`~repro.tee.enclave.Enclave` actually hosts — combines
+both.  This module re-exports them under the stable import path
+``repro.core.channel``.
+"""
+
+from repro.core.channel_base import ChannelProtocol, DepositValidator
+from repro.core.multihop import TeechainEnclave
+
+__all__ = ["ChannelProtocol", "DepositValidator", "TeechainEnclave"]

@@ -1,0 +1,940 @@
+"""The Teechain payment-channel protocol — paper Algorithm 1.
+
+:class:`ChannelProtocol` is an enclave program implementing the full
+channel lifecycle: secure-channel installation, channel opening, deposit
+registration / approval / association / dissociation, payments, deposit
+rebalancing, and off-chain or on-chain settlement.  Method docstrings cite
+the algorithm lines they implement.
+
+Messages arrive through :meth:`handle_envelope` — sealed under the secure
+channel (confidentiality + freshness) and signed by the sender's identity
+key (authentication).  Every guard in the paper's pseudo-code is an
+explicit check raising a :class:`~repro.errors.ProtocolError` subclass.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.blockchain.transaction import OutPoint, Transaction
+from repro.core.deposits import DepositRecord, DepositStatus
+from repro.core.messages import (
+    ApproveMyDeposit,
+    ApprovedDeposit,
+    AssociatedDeposit,
+    DissociateDeposit,
+    DissociateDepositAck,
+    NewChannelAck,
+    Paid,
+    SettleNotify,
+    SettleRequest,
+    SignedMessage,
+)
+from repro.core.settlement import (
+    SigningProvider,
+    build_channel_settlement,
+    build_release,
+    local_key_provider,
+)
+from repro.core.state import ChannelState, MultihopStage
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.errors import (
+    ChannelStateError,
+    DepositError,
+    PaymentError,
+    ProtocolError,
+    ReplicationError,
+    SettlementError,
+)
+from repro.network.secure_channel import SecureChannel
+from repro.tee.enclave import EnclaveProgram
+
+logger = logging.getLogger(__name__)
+
+# Validates that a deposit transaction is confirmed on the blockchain to
+# the participant's required depth (Alg. 1 line 56 happens outside the TEE:
+# the *participant* checks the chain and instructs the TEE).
+DepositValidator = Callable[[OutPoint, int], bool]
+
+
+class ChannelProtocol(EnclaveProgram):
+    """Algorithm 1, hosted in an enclave."""
+
+    PROGRAM_NAME = "teechain"
+    PROGRAM_VERSION = 1
+
+    # After a force-freeze, only settlement/release operations remain
+    # available (paper §6: frozen chains settle channels and release
+    # deposits).
+    FREEZE_ALLOWED = (
+        "settle",
+        "unilateral_settlement",
+        "release_deposit",
+        "list_channels",
+        "channel_snapshot",
+        "state_snapshot",
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Secure channels and peer bookkeeping, keyed by the remote
+        # identity key's compressed encoding.
+        self.secure_channels: Dict[bytes, SecureChannel] = {}
+        self.peer_names: Dict[bytes, str] = {}
+        # Channel state: cid → ChannelState.
+        self.channels: Dict[str, ChannelState] = {}
+        # Deposits: allDeps/freeDeps in the paper collapse into records
+        # with a status field.
+        self.deposits: Dict[OutPoint, DepositRecord] = {}
+        # btcPrivs: deposit private keys, keyed by the key's own address.
+        self.deposit_keys: Dict[str, PrivateKey] = {}
+        # appDeps(K): deposits approved between us and peer K (both our
+        # deposits they approved and their deposits we approved).
+        self.approved_deposits: Dict[bytes, Set[OutPoint]] = {}
+        # Per-channel payment sequence numbers (freshness on top of the
+        # secure channel's counters).
+        self._pay_seq_out: Dict[str, int] = {}
+        self._pay_seq_in: Dict[str, int] = {}
+        # Payment statistics (benchmarks read these).
+        self.payments_sent = 0
+        self.payments_received = 0
+        # Set by the host: validates deposit confirmation depth on chain.
+        self.deposit_validator: Optional[DepositValidator] = None
+        # Security policy for approving remote deposits.
+        self.required_confirmations = 1
+        self.max_committee_size = 16
+        # Hook called after every state mutation; the replication layer
+        # (Alg. 3) overrides it to push updates down the committee chain.
+        self.replication_hook: Optional[Callable[[str], None]] = None
+        # Completed settlements, available for audit / PoPT extraction.
+        self.settlements: Dict[str, Transaction] = {}
+        # Optional committee signing provider (set by the node layer when
+        # this enclave's deposits are secured by committee chains).  Wraps
+        # the local-key provider so committee deposits get quorum
+        # signatures (repro.core.committee.CommitteeCoordinator).
+        self.committee_provider: Optional[Callable] = None
+        # Multi-hop candidate settlements (payment id → txids) announced
+        # to the committee *before* they are signed: committee members
+        # only co-sign transactions in their replicated valid set, so the
+        # pre/post/τ candidates must be replicated ahead of signing.
+        self.pending_candidate_txids: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Transactional ecalls (Alg. 3: replication ack gates state updates)
+    # ------------------------------------------------------------------
+
+    # Ecalls that never mutate protocol state; everything else runs under
+    # the rollback guard when a replication chain is attached.
+    READ_ONLY_ECALLS = frozenset({
+        "list_channels", "channel_snapshot", "state_snapshot",
+        "valid_settlement_txids",
+    })
+
+    def ecall_guard(self, method, handler, args, kwargs):
+        """Run an ecall transactionally with respect to replication.
+
+        Algorithm 3 requires the backup's acknowledgement *before* a state
+        update takes effect.  Handlers mutate first and replicate last (the
+        ecall has not returned, so nothing external observed the
+        mutation); if replication fails, this guard restores the
+        pre-ecall state and discards any queued outgoing messages, making
+        the failed operation a no-op."""
+        if self.replication_hook is None or method in self.READ_ONLY_ECALLS:
+            return handler(*args, **kwargs)
+        snapshot = self._rollback_snapshot()
+        try:
+            return handler(*args, **kwargs)
+        except ReplicationError:
+            self._rollback(snapshot)
+            raise
+
+    _ROLLBACK_ATTRS = (
+        "channels", "deposits", "deposit_keys", "approved_deposits",
+        "_pay_seq_out", "_pay_seq_in", "settlements",
+        "pending_candidate_txids",
+    )
+
+    def _rollback_snapshot(self):
+        import copy
+
+        state = {
+            name: copy.deepcopy(getattr(self, name))
+            for name in self._ROLLBACK_ATTRS
+        }
+        state["payments_sent"] = self.payments_sent
+        state["payments_received"] = self.payments_received
+        sessions = getattr(self, "multihop_sessions", None)
+        if sessions is not None:
+            state["multihop_sessions"] = copy.deepcopy(sessions)
+        state["_outbox"] = list(self._outbox)
+        return state
+
+    def _rollback(self, snapshot) -> None:
+        for name in self._ROLLBACK_ATTRS:
+            setattr(self, name, snapshot[name])
+        self.payments_sent = snapshot["payments_sent"]
+        self.payments_received = snapshot["payments_received"]
+        if "multihop_sessions" in snapshot:
+            self.multihop_sessions = snapshot["multihop_sessions"]
+        self._outbox = snapshot["_outbox"]
+
+    # ------------------------------------------------------------------
+    # Internal plumbing
+    # ------------------------------------------------------------------
+
+    def _signing_provider(self) -> SigningProvider:
+        local = local_key_provider(self.deposit_keys)
+        if self.committee_provider is not None:
+            return self.committee_provider(local)
+        return local
+
+    def _replicated(self, description: str) -> None:
+        """Notify the replication chain of a state mutation (Alg. 3:
+        updates must be acknowledged before the operation's effects are
+        released; in direct mode the hook runs synchronously)."""
+        if self.replication_hook is not None:
+            self.replication_hook(description)
+
+    def _secure_channel_for(self, remote_key: PublicKey) -> SecureChannel:
+        channel = self.secure_channels.get(remote_key.to_bytes())
+        if channel is None:
+            raise ChannelStateError(
+                f"no secure channel with {remote_key.fingerprint()}"
+            )
+        return channel
+
+    def _channel(self, channel_id: str) -> ChannelState:
+        channel = self.channels.get(channel_id)
+        if channel is None:
+            raise ChannelStateError(f"unknown channel {channel_id!r}")
+        return channel
+
+    def send_secure(self, remote_key: PublicKey, body: Any) -> None:
+        """Sign with the enclave identity, seal under the secure channel,
+        and queue for the host to deliver."""
+        secure = self._secure_channel_for(remote_key)
+        signed = SignedMessage.create(body, self.identity.private)
+        envelope = secure.seal_message(signed)
+        peer_name = self.peer_names[remote_key.to_bytes()]
+        self.send(peer_name, envelope)
+
+    # ------------------------------------------------------------------
+    # Secure network channels (Alg. 1 line 15)
+    # ------------------------------------------------------------------
+
+    def install_secure_channel(
+        self, channel: SecureChannel, peer_name: str
+    ) -> None:
+        """Install the outcome of remote attestation + authenticated DH
+        (``newNetworkChannel``).  The handshake itself runs in
+        :func:`repro.network.secure_channel.establish_secure_channel`,
+        which derives keys from this enclave's identity secret — i.e.
+        logically inside the enclave."""
+        key_bytes = channel.remote_key.to_bytes()
+        if key_bytes in self.secure_channels:
+            raise ChannelStateError(
+                f"secure channel with {channel.remote_key.fingerprint()} "
+                "already exists"
+            )
+        self.secure_channels[key_bytes] = channel
+        self.peer_names[key_bytes] = peer_name
+        self.approved_deposits.setdefault(key_bytes, set())
+
+    # ------------------------------------------------------------------
+    # Payment channel creation (Alg. 1 lines 18–31)
+    # ------------------------------------------------------------------
+
+    def new_pay_channel(
+        self,
+        channel_id: str,
+        remote_key: PublicKey,
+        remote_settlement_address: str,
+        my_settlement_address: str,
+    ) -> None:
+        """``newPayChannel`` (line 18): record channel parameters and send
+        a signed acknowledgement.  The channel opens when the remote's
+        acknowledgement arrives (line 27)."""
+        self._secure_channel_for(remote_key)  # must be attested first
+        if channel_id in self.channels and not self.channels[channel_id].terminated:
+            raise ChannelStateError(f"channel {channel_id!r} already exists")
+        self.channels[channel_id] = ChannelState(
+            channel_id=channel_id,
+            remote_key=remote_key,
+            my_settlement_address=my_settlement_address,
+            remote_settlement_address=remote_settlement_address,
+        )
+        self._pay_seq_out[channel_id] = 0
+        self._pay_seq_in[channel_id] = 0
+        self._replicated(f"new_pay_channel:{channel_id}")
+        self.send_secure(
+            remote_key,
+            NewChannelAck(
+                channel_id=channel_id,
+                my_address=my_settlement_address,
+                remote_address=remote_settlement_address,
+            ),
+        )
+
+    def _on_new_channel_ack(self, sender: PublicKey, ack: NewChannelAck) -> None:
+        """Line 27: verify the echoed addresses and open the channel."""
+        channel = self._channel(ack.channel_id)
+        if channel.remote_key != sender:
+            raise ChannelStateError("ack from a key that is not the channel peer")
+        if channel.is_open:
+            raise ChannelStateError(f"channel {ack.channel_id!r} already open")
+        # The sender's "my" address is our remote address and vice versa.
+        if channel.remote_settlement_address != ack.my_address:
+            raise ChannelStateError("settlement address mismatch in channel ack")
+        if channel.my_settlement_address != ack.remote_address:
+            raise ChannelStateError("settlement address mismatch in channel ack")
+        channel.is_open = True
+        self._replicated(f"channel_open:{ack.channel_id}")
+
+    # ------------------------------------------------------------------
+    # Deposits (Alg. 1 lines 32–63)
+    # ------------------------------------------------------------------
+
+    def new_deposit_address(self) -> Tuple[str, PublicKey]:
+        """``newAddr`` (line 32): generate a deposit key inside the
+        enclave; return its address and public key.  The private key never
+        leaves except via deposit association (line 73)."""
+        key = PrivateKey.generate()
+        address = key.public_key.address()
+        self.deposit_keys[address] = key
+        self._replicated(f"new_addr:{address}")
+        return address, key.public_key
+
+    def register_deposit(self, record: DepositRecord) -> None:
+        """``newDeposit`` (line 36): adopt a confirmed funding output.
+
+        For 1-of-1 deposits the enclave must hold the deposit key (line 37:
+        ``assert btcPrivs(a_btc) exists``); committee deposits only require
+        membership (our key among the spec's keys)."""
+        if record.outpoint in self.deposits:
+            raise DepositError(
+                f"deposit {record.outpoint} already registered"  # line 38
+            )
+        member_addresses = {
+            key.address() for key in record.spec.public_keys
+        }
+        if not member_addresses & set(self.deposit_keys):
+            raise DepositError(
+                "enclave holds no key for this deposit's multisig"
+            )
+        if record.status is not DepositStatus.FREE:
+            raise DepositError("new deposits must be free")
+        self.deposits[record.outpoint] = record
+        self._replicated(f"new_deposit:{record.outpoint}")
+
+    def release_deposit(self, outpoint: OutPoint,
+                        destination_address: str) -> Transaction:
+        """``releaseDeposit`` (line 42): spend a free deposit out of the
+        network.  Returns the transaction for the host to broadcast."""
+        record = self.deposits.get(outpoint)
+        if record is None or not record.is_free:
+            raise DepositError(f"deposit {outpoint} is not free")  # line 43
+        transaction = build_release(
+            record, destination_address, self._signing_provider()
+        )
+        record.mark_released()
+        self._replicated(f"release_deposit:{outpoint}")
+        return transaction
+
+    def approve_my_deposit(self, remote_key: PublicKey,
+                           outpoint: OutPoint) -> None:
+        """``approveMyDeposit`` (line 48): ask a peer to approve one of our
+        free deposits ahead of association."""
+        key_bytes = remote_key.to_bytes()
+        self._secure_channel_for(remote_key)  # line 49
+        record = self.deposits.get(outpoint)
+        if record is None or not record.is_free:
+            raise DepositError(f"deposit {outpoint} is not free")  # line 50
+        if outpoint in self.approved_deposits[key_bytes]:
+            raise DepositError(f"deposit {outpoint} already approved")  # line 51
+        self.send_secure(
+            remote_key,
+            ApproveMyDeposit(
+                sender_key=self.identity.public,
+                outpoint=outpoint,
+                value=record.value,
+                threshold=record.spec.threshold,
+                committee_size=record.spec.total,
+                deposit_address=record.address,
+            ),
+        )
+
+    def _on_approve_my_deposit(self, sender: PublicKey,
+                               request: ApproveMyDeposit) -> None:
+        """Line 53: validate the peer's deposit and approve it.
+
+        Line 56's "Verify that txo is in the blockchain" runs through the
+        host-installed :attr:`deposit_validator` — TEEs cannot hold the
+        chain (§4), so the participant checks confirmations and the
+        enclave trusts *its own* participant's view, never the remote's.
+        """
+        key_bytes = sender.to_bytes()
+        approved = self.approved_deposits.setdefault(key_bytes, set())
+        if request.outpoint in approved:
+            raise DepositError(
+                f"deposit {request.outpoint} already approved"  # line 55
+            )
+        if not 1 <= request.threshold <= request.committee_size <= self.max_committee_size:
+            raise DepositError(
+                f"deposit multisig {request.threshold}-of-"
+                f"{request.committee_size} violates local policy"
+            )
+        if self.deposit_validator is None:
+            raise DepositError(
+                "no blockchain validator installed; cannot approve deposits"
+            )
+        if not self.deposit_validator(request.outpoint,
+                                      self.required_confirmations):
+            raise DepositError(
+                f"deposit {request.outpoint} lacks "
+                f"{self.required_confirmations} confirmations"  # line 56
+            )
+        approved.add(request.outpoint)  # line 57
+        self.send_secure(
+            sender,
+            ApprovedDeposit(sender_key=self.identity.public,
+                            outpoint=request.outpoint),  # line 58
+        )
+
+    def _on_approved_deposit(self, sender: PublicKey,
+                             approval: ApprovedDeposit) -> None:
+        """Line 59: record that the peer approved our deposit."""
+        key_bytes = sender.to_bytes()
+        record = self.deposits.get(approval.outpoint)
+        if record is None or not record.is_free:
+            raise DepositError(
+                f"approval for unknown or non-free deposit "
+                f"{approval.outpoint}"  # line 61
+            )
+        approved = self.approved_deposits.setdefault(key_bytes, set())
+        if approval.outpoint in approved:
+            raise DepositError(
+                f"duplicate approval for {approval.outpoint}"  # line 62
+            )
+        approved.add(approval.outpoint)  # line 63
+        self._replicated(f"deposit_approved:{approval.outpoint}")
+
+    # ------------------------------------------------------------------
+    # Deposit association / dissociation (Alg. 1 lines 64–104)
+    # ------------------------------------------------------------------
+
+    def associate_deposit(self, channel_id: str, outpoint: OutPoint) -> None:
+        """``associateMyDeposit`` (line 64): move a free, approved deposit
+        into a channel, increasing our balance, and share the deposit key
+        with the remote TEE (1-of-1 deposits; committee deposits share no
+        key — the committee signs for either party)."""
+        channel = self._channel(channel_id)
+        channel.require_open()  # line 65
+        channel.require_stage(MultihopStage.IDLE)
+        key_bytes = channel.remote_key.to_bytes()
+        if outpoint not in self.approved_deposits.get(key_bytes, set()):
+            raise DepositError(
+                f"deposit {outpoint} not approved by channel peer"  # line 66
+            )
+        record = self.deposits.get(outpoint)
+        if record is None or not record.is_free:
+            raise DepositError(f"deposit {outpoint} is not free")  # line 67
+        record.mark_associated(channel_id)  # line 68/69
+        channel.my_deposits.add(outpoint)
+        channel.my_balance += record.value  # line 70
+        encrypted_key = b""
+        if record.spec.threshold == 1 and record.spec.total == 1:
+            deposit_address = record.spec.public_keys[0].address()
+            private = self.deposit_keys[deposit_address]
+            secure = self._secure_channel_for(channel.remote_key)
+            # Line 72: the key crosses the wire only under the secure
+            # channel's encryption.
+            encrypted_key = secure.seal_blob(
+                ("deposit-key", deposit_address, private.to_bytes())
+            )
+        self._replicated(f"associate:{channel_id}:{outpoint}")
+        self.send_secure(
+            channel.remote_key,
+            AssociatedDeposit(
+                channel_id=channel_id,
+                outpoint=outpoint,
+                value=record.value,
+                encrypted_deposit_key=encrypted_key,
+                deposit_address=record.address,
+                threshold=record.spec.threshold,
+                committee_size=record.spec.total,
+                committee=record.committee,
+            ),
+        )
+
+    def _on_associated_deposit(self, sender: PublicKey,
+                               message: AssociatedDeposit) -> None:
+        """Line 74: adopt the peer's deposit into the channel and (for
+        1-of-1) recover the shared deposit key."""
+        channel = self._channel(message.channel_id)
+        channel.require_open()  # line 75
+        if channel.remote_key != sender:
+            raise DepositError("association from non-peer key")
+        key_bytes = sender.to_bytes()
+        if message.outpoint not in self.approved_deposits.get(key_bytes, set()):
+            raise DepositError(
+                f"peer associated unapproved deposit {message.outpoint}"  # 76
+            )
+        if message.outpoint in channel.remote_deposits:
+            raise DepositError(f"deposit {message.outpoint} already associated")
+        channel.remote_deposits.add(message.outpoint)  # line 77
+        channel.remote_balance += message.value  # line 78
+        # Track the remote's deposit so settlement can reference it.
+        if message.outpoint not in self.deposits:
+            from repro.crypto.multisig import MultisigSpec  # local import: cycle
+
+            # Reconstruct the spec from the shared key (1-of-1) or accept
+            # the committee form (keys live with the committee).
+            if message.encrypted_deposit_key:
+                secure = self._secure_channel_for(sender)
+                tag, address, key_bytes_raw = secure.open_blob(
+                    message.encrypted_deposit_key
+                )
+                if tag != "deposit-key":
+                    raise DepositError("malformed deposit key payload")
+                private = PrivateKey.from_bytes(key_bytes_raw)  # line 80/81
+                if private.public_key.address() != address:
+                    raise DepositError("deposit key does not match address")
+                self.deposit_keys[address] = private
+                spec = MultisigSpec(1, (private.public_key,))
+            else:
+                spec = None  # committee deposit: spec tracked by committee
+            record = DepositRecord(
+                outpoint=message.outpoint,
+                value=message.value,
+                spec=spec if spec is not None else _committee_placeholder_spec(
+                    message
+                ),
+                status=DepositStatus.ASSOCIATED,
+                channel_id=message.channel_id,
+                committee=message.committee,
+                multisig_address=(None if spec is not None
+                                  else message.deposit_address),
+            )
+            self.deposits[message.outpoint] = record
+        else:
+            self.deposits[message.outpoint].mark_associated(message.channel_id)
+        self._replicated(
+            f"remote_associate:{message.channel_id}:{message.outpoint}"
+        )
+
+    def dissociate_deposit(self, channel_id: str, outpoint: OutPoint) -> None:
+        """``dissociateDeposit`` (line 90): begin removing one of our
+        deposits from a channel.  Completion requires the remote's ack
+        (double-spend prevention, line 99)."""
+        channel = self._channel(channel_id)
+        channel.require_open()
+        channel.require_stage(MultihopStage.IDLE)
+        if outpoint not in channel.my_deposits:
+            raise DepositError(
+                f"deposit {outpoint} is not ours in channel {channel_id!r}"  # 91
+            )
+        record = self.deposits[outpoint]
+        if channel.my_balance < record.value:
+            raise DepositError(
+                f"balance {channel.my_balance} below deposit value "
+                f"{record.value}: cannot dissociate"  # line 92
+            )
+        self.send_secure(
+            channel.remote_key,
+            DissociateDeposit(channel_id=channel_id, outpoint=outpoint),  # 93
+        )
+
+    def _on_dissociate_deposit(self, sender: PublicKey,
+                               request: DissociateDeposit) -> None:
+        """Line 94: peer dissociates one of *their* deposits; we drop it,
+        reduce their balance, destroy our copy of the key, and ack."""
+        channel = self._channel(request.channel_id)
+        channel.require_open()
+        if channel.remote_key != sender:
+            raise DepositError("dissociation from non-peer key")
+        if request.outpoint not in channel.remote_deposits:
+            raise DepositError(
+                f"{request.outpoint} is not a remote deposit here"  # line 95
+            )
+        record = self.deposits[request.outpoint]
+        if channel.remote_balance < record.value:
+            raise DepositError(
+                "peer balance below deposit value: dissociation refused"  # 96
+            )
+        channel.remote_deposits.discard(request.outpoint)  # line 97
+        channel.remote_balance -= record.value  # line 98
+        # Destroy our copy of the deposit key (line 104 runs on the other
+        # side for their copy; we destroy ours on ack-send so the deposit
+        # is single-owner again).
+        for public_key in record.spec.public_keys:
+            self.deposit_keys.pop(public_key.address(), None)
+        del self.deposits[request.outpoint]
+        self._replicated(
+            f"remote_dissociate:{request.channel_id}:{request.outpoint}"
+        )
+        self.send_secure(
+            sender,
+            DissociateDepositAck(channel_id=request.channel_id,
+                                 outpoint=request.outpoint),  # line 99
+        )
+        self._maybe_finish_offchain_settle(channel)
+
+    def _on_dissociate_ack(self, sender: PublicKey,
+                           ack: DissociateDepositAck) -> None:
+        """Line 100: complete dissociation — the deposit becomes free."""
+        channel = self._channel(ack.channel_id)
+        if channel.remote_key != sender:
+            raise DepositError("dissociation ack from non-peer key")
+        if ack.outpoint not in channel.my_deposits:
+            raise DepositError(f"{ack.outpoint} is not pending dissociation")
+        record = self.deposits[ack.outpoint]
+        channel.my_deposits.discard(ack.outpoint)  # line 101
+        channel.my_balance -= record.value  # line 102
+        record.mark_free()  # line 103
+        self._replicated(f"dissociated:{ack.channel_id}:{ack.outpoint}")
+        self._maybe_finish_offchain_settle(channel)
+
+    # ------------------------------------------------------------------
+    # Payments (Alg. 1 lines 82–89)
+    # ------------------------------------------------------------------
+
+    def pay(self, channel_id: str, amount: int, batch_count: int = 1) -> None:
+        """``pay`` (line 82): single-message payment to the channel peer."""
+        if amount <= 0:
+            raise PaymentError(f"payment amount must be positive, got {amount}")
+        channel = self._channel(channel_id)
+        channel.require_open()
+        channel.require_stage(MultihopStage.IDLE)
+        if channel.my_balance < amount:
+            raise PaymentError(
+                f"balance {channel.my_balance} < payment {amount}"  # line 83
+            )
+        channel.my_balance -= amount  # line 84
+        channel.remote_balance += amount  # line 85
+        self._pay_seq_out[channel_id] += 1
+        self.payments_sent += batch_count
+        self._replicated(f"pay:{channel_id}:{amount}")
+        self.send_secure(
+            channel.remote_key,
+            Paid(channel_id=channel_id, amount=amount,
+                 sequence=self._pay_seq_out[channel_id],
+                 batch_count=batch_count),  # line 86
+        )
+
+    def _on_paid(self, sender: PublicKey, payment: Paid) -> None:
+        """Line 87: credit an incoming payment."""
+        channel = self._channel(payment.channel_id)
+        channel.require_open()
+        if channel.remote_key != sender:
+            raise PaymentError("payment from non-peer key")
+        expected = self._pay_seq_in[payment.channel_id] + 1
+        if payment.sequence != expected:
+            raise PaymentError(
+                f"payment sequence {payment.sequence}, expected {expected}"
+            )
+        if payment.amount <= 0 or channel.remote_balance < payment.amount:
+            raise PaymentError(
+                f"peer paid {payment.amount} with balance "
+                f"{channel.remote_balance}"
+            )
+        self._pay_seq_in[payment.channel_id] = payment.sequence
+        channel.my_balance += payment.amount  # line 88
+        channel.remote_balance -= payment.amount  # line 89
+        self.payments_received += payment.batch_count
+        self._replicated(f"paid:{payment.channel_id}:{payment.amount}")
+
+    # ------------------------------------------------------------------
+    # Settlement (Alg. 1 lines 105–121)
+    # ------------------------------------------------------------------
+
+    def _deposit_value(self, outpoint: OutPoint) -> int:
+        return self.deposits[outpoint].value
+
+    def settle(self, channel_id: str) -> Optional[Transaction]:
+        """``settle`` (line 105).
+
+        Neutral balances → off-chain termination by dissociating every
+        deposit (lines 106–112; the deposits become free immediately and
+        nothing touches the blockchain).  Otherwise → build, record, and
+        return the signed settlement transaction (lines 114–121) for the
+        host to broadcast, reset the channel, and notify the peer.
+        """
+        channel = self._channel(channel_id)
+        channel.require_open()
+        channel.require_stage(MultihopStage.IDLE)
+        if channel.is_neutral(self._deposit_value):  # line 106
+            channel.settling_offchain = True
+            for outpoint in sorted(channel.my_deposits):
+                self.dissociate_deposit(channel_id, outpoint)  # line 107
+            self.send_secure(channel.remote_key,
+                             SettleRequest(channel_id=channel_id))  # line 108
+            # Channel resets once all dissociations complete (acks arrive)
+            # and the peer has dissociated its side; see _maybe_finish_
+            # offchain_settle.
+            return None
+        transaction = self.unilateral_settlement(channel_id)  # lines 114–118
+        self.send_secure(
+            channel.remote_key,
+            SettleNotify(channel_id=channel_id,
+                         settlement_txid=transaction.txid),  # line 120
+        )
+        return transaction  # line 121
+
+    def unilateral_settlement(self, channel_id: str) -> Transaction:
+        """Produce the signed settlement for the channel's current
+        balances without peer interaction — the asynchronous-safety path:
+        callable at any time, even with the peer gone (balance
+        correctness, Appendix A)."""
+        channel = self._channel(channel_id)
+        channel.require_open()
+        if channel.stage not in (MultihopStage.IDLE, MultihopStage.TERMINATED):
+            raise SettlementError(
+                "channel is locked in a multi-hop payment; use eject"
+            )
+        transaction = build_channel_settlement(
+            channel,
+            deposits_of=self.deposits,
+            provider=self._signing_provider(),
+        )
+        self._finalize_settlement(channel, transaction)
+        return transaction
+
+    def _finalize_settlement(self, channel: ChannelState,
+                             transaction: Transaction) -> None:
+        for outpoint in channel.all_deposits():
+            record = self.deposits.get(outpoint)
+            if record is not None:
+                record.mark_settled()
+        self.settlements[channel.channel_id] = transaction
+        channel.reset()  # line 119
+        self._replicated(f"settled:{channel.channel_id}")
+
+    def _on_settle_request(self, sender: PublicKey,
+                           request: SettleRequest) -> None:
+        """Line 108's receiving side: the peer wants an off-chain
+        termination; dissociate all our deposits in the channel."""
+        channel = self._channel(request.channel_id)
+        channel.require_open()
+        if channel.remote_key != sender:
+            raise SettlementError("settle request from non-peer key")
+        if not channel.is_neutral(self._deposit_value):
+            raise SettlementError(
+                "peer requested off-chain termination on non-neutral channel"
+            )
+        channel.settling_offchain = True
+        for outpoint in sorted(channel.my_deposits):
+            self.dissociate_deposit(request.channel_id, outpoint)
+        self._maybe_finish_offchain_settle(channel)
+
+    def _on_settle_notify(self, sender: PublicKey,
+                          notice: SettleNotify) -> None:
+        """Line 120's receiving side: the peer settled on-chain; reset."""
+        channel = self._channel(notice.channel_id)
+        if channel.remote_key != sender:
+            raise SettlementError("settle notice from non-peer key")
+        if channel.terminated:
+            return
+        for outpoint in channel.all_deposits():
+            record = self.deposits.get(outpoint)
+            if record is not None:
+                record.mark_settled()
+        channel.reset()
+        self._replicated(f"peer_settled:{notice.channel_id}")
+
+    def _maybe_finish_offchain_settle(self, channel: ChannelState) -> None:
+        """Line 109: once both sides have dissociated everything during a
+        pending off-chain settle, the channel terminates."""
+        if (channel.settling_offchain
+                and not channel.my_deposits and not channel.remote_deposits):
+            channel.reset()  # line 112
+            self._replicated(f"offchain_settled:{channel.channel_id}")
+
+    # ------------------------------------------------------------------
+    # Introspection (read-only ecalls used by hosts, tests, benchmarks)
+    # ------------------------------------------------------------------
+
+    def list_channels(self) -> List[str]:
+        return [
+            cid for cid, channel in self.channels.items()
+            if channel.is_open and not channel.terminated
+        ]
+
+    def channel_snapshot(self, channel_id: str) -> Dict[str, Any]:
+        channel = self._channel(channel_id)
+        return {
+            "channel_id": channel.channel_id,
+            "is_open": channel.is_open,
+            "my_balance": channel.my_balance,
+            "remote_balance": channel.remote_balance,
+            "my_deposits": sorted(channel.my_deposits),
+            "remote_deposits": sorted(channel.remote_deposits),
+            "stage": channel.stage.value,
+        }
+
+    def state_snapshot(self) -> Dict[str, Any]:
+        """Full protocol state digest for replication and sealing."""
+        return {
+            "channels": {
+                cid: self.channel_snapshot(cid)
+                for cid, channel in self.channels.items()
+                if not channel.terminated
+            },
+            "free_deposits": sorted(
+                outpoint
+                for outpoint, record in self.deposits.items()
+                if record.is_free
+            ),
+            "payments_sent": self.payments_sent,
+            "payments_received": self.payments_received,
+        }
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    _HANDLERS = {
+        NewChannelAck: "_on_new_channel_ack",
+        ApproveMyDeposit: "_on_approve_my_deposit",
+        ApprovedDeposit: "_on_approved_deposit",
+        AssociatedDeposit: "_on_associated_deposit",
+        DissociateDeposit: "_on_dissociate_deposit",
+        DissociateDepositAck: "_on_dissociate_ack",
+        Paid: "_on_paid",
+        SettleRequest: "_on_settle_request",
+        SettleNotify: "_on_settle_notify",
+    }
+
+    def handle_envelope(self, peer_name: str, envelope: bytes) -> None:
+        """Entry point for all incoming protocol traffic.
+
+        Looks up the secure channel for ``peer_name``, opens the sealed
+        envelope (authenticity + freshness), verifies the inner signature,
+        and dispatches on the message type.
+        """
+        remote_key = None
+        for key_bytes, name in self.peer_names.items():
+            if name == peer_name:
+                remote_key = key_bytes
+                break
+        if remote_key is None:
+            raise ChannelStateError(f"no secure channel with peer {peer_name!r}")
+        secure = self.secure_channels[remote_key]
+        signed: SignedMessage = secure.open_message(envelope)
+        signed.verify(expected_sender=secure.remote_key)
+        self.dispatch(signed.sender_key, signed.body)
+
+    def dispatch(self, sender: PublicKey, body: Any) -> None:
+        handler_name = self._lookup_handler(type(body))
+        if handler_name is None:
+            raise ProtocolError(
+                f"no handler for message type {type(body).__name__}"
+            )
+        getattr(self, handler_name)(sender, body)
+
+    def _lookup_handler(self, body_type: type) -> Optional[str]:
+        return self._HANDLERS.get(body_type)
+
+
+def _committee_placeholder_spec(message: AssociatedDeposit):
+    """Spec stand-in for a peer's committee deposit whose keys we never
+    see: a synthetic m-of-n over deterministic keys derived from the
+    deposit address.  Only the *value* and outpoint matter locally (we
+    cannot spend the peer's committee deposit; its committee signs)."""
+    from repro.crypto.keys import PrivateKey as _PrivateKey
+    from repro.crypto.multisig import MultisigSpec as _MultisigSpec
+
+    keys = tuple(
+        _PrivateKey.from_seed(
+            f"placeholder:{message.deposit_address}:{index}".encode()
+        ).public_key
+        for index in range(message.committee_size)
+    )
+    return _MultisigSpec(message.threshold, keys)
+
+
+
+# ---------------------------------------------------------------------------
+# Replication support (consumed by repro.core.replication / committee)
+# ---------------------------------------------------------------------------
+
+def _valid_settlement_txids(program: "ChannelProtocol") -> Set[str]:
+    """txids of every settlement transaction consistent with the program's
+    current state: each open channel's current-balance settlement, plus —
+    for channels inside a multi-hop payment — the recorded pre/post
+    candidates and τ.  Committee members refuse to co-sign anything outside
+    this set (the Byzantine-TEE defence of §6.1)."""
+    from repro.core.settlement import build_unsigned_settlement
+
+    txids: Set[str] = set()
+    for channel in program.channels.values():
+        if not channel.is_open or channel.terminated:
+            continue
+        records = []
+        known = True
+        for outpoint in sorted(channel.all_deposits()):
+            record = program.deposits.get(outpoint)
+            if record is None:
+                known = False
+                break
+            records.append(record)
+        if not known or not records:
+            continue
+        if channel.capacity > 0:
+            unsigned = build_unsigned_settlement(
+                records,
+                payouts=[
+                    (channel.my_settlement_address, channel.my_balance),
+                    (channel.remote_settlement_address,
+                     channel.remote_balance),
+                ],
+            )
+            txids.add(unsigned.txid)
+    for pending in program.pending_candidate_txids.values():
+        txids.update(pending)
+    sessions = getattr(program, "multihop_sessions", {})
+    for session in sessions.values():
+        txids.update(session.pre_txids)
+        txids.update(session.post_txids)
+        for settlements in (session.local_pre_settlements,
+                            session.local_post_settlements):
+            txids.update(tx.txid for tx in settlements.values())
+        if session.tau is not None:
+            txids.add(session.tau.txid)
+    return txids
+
+
+def _replication_blob(program: "ChannelProtocol") -> bytes:
+    """Serialise everything a backup needs to settle on the primary's
+    behalf: channel states, deposit records, deposit keys, and the
+    valid-settlement txid set.  On the wire this blob travels only inside
+    attested secure channels."""
+    import pickle
+
+    state = {
+        "channels": {
+            cid: channel for cid, channel in program.channels.items()
+            if not channel.terminated
+        },
+        "deposits": dict(program.deposits),
+        "deposit_keys": {
+            address: key.to_bytes()
+            for address, key in program.deposit_keys.items()
+        },
+        "valid_txids": _valid_settlement_txids(program),
+        "approved_deposits": {
+            key: set(values)
+            for key, values in program.approved_deposits.items()
+        },
+        "pay_seq_out": dict(program._pay_seq_out),
+        "pay_seq_in": dict(program._pay_seq_in),
+        "payments_sent": program.payments_sent,
+        "payments_received": program.payments_received,
+    }
+    return pickle.dumps(state)
+
+
+# Public aliases: these are module-level functions (not methods) because
+# they are consumed by the replication layer, outside the ecall surface.
+valid_settlement_txids = _valid_settlement_txids
+replication_blob = _replication_blob

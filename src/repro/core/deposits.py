@@ -1,0 +1,91 @@
+"""Fund deposits (paper §3, §4.1, §6.1).
+
+A deposit is a confirmed transaction output paying into an m-of-n
+multisignature address whose keys live inside TEEs.  Algorithm 1 constrains
+deposits to 1-of-1; committee chains (§6.1) generalise to m-of-n — the
+:class:`DepositRecord` carries the full spec either way, so the channel
+protocol is agnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.blockchain.transaction import OutPoint
+from repro.crypto.multisig import MultisigSpec
+from repro.errors import DepositError
+
+
+class DepositStatus(enum.Enum):
+    FREE = "free"              # in freeDeps: unassociated, releasable
+    ASSOCIATED = "associated"  # assigned to a payment channel
+    RELEASED = "released"      # spent back out of the network
+    SETTLED = "settled"        # consumed by a channel settlement
+
+
+@dataclass
+class DepositRecord:
+    """One deposit held by a TEE.
+
+    ``spec`` is the m-of-n lock on the funding output; for plain Alg. 1
+    deposits it is 1-of-1 over a single TEE-generated key.
+    """
+
+    outpoint: OutPoint
+    value: int
+    spec: MultisigSpec
+    status: DepositStatus = DepositStatus.FREE
+    channel_id: Optional[str] = None
+    # Names of committee members securing this deposit (for routing
+    # signature requests); empty for purely local deposits.
+    committee: Tuple[str, ...] = ()
+    # The deposit's true on-chain multisig address.  The remote party of a
+    # committee deposit never sees the committee's keys (only the owner's
+    # committee can sign), so its local record carries a placeholder spec —
+    # this field preserves the real address for signature routing.
+    multisig_address: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise DepositError(f"deposit value must be positive, got {self.value}")
+
+    @property
+    def address(self) -> str:
+        if self.multisig_address is not None:
+            return self.multisig_address
+        return self.spec.address()
+
+    @property
+    def is_free(self) -> bool:
+        return self.status is DepositStatus.FREE
+
+    def mark_associated(self, channel_id: str) -> None:
+        if self.status is not DepositStatus.FREE:
+            raise DepositError(
+                f"deposit {self.outpoint} is {self.status.value}, not free"
+            )
+        self.status = DepositStatus.ASSOCIATED
+        self.channel_id = channel_id
+
+    def mark_free(self) -> None:
+        if self.status is not DepositStatus.ASSOCIATED:
+            raise DepositError(
+                f"deposit {self.outpoint} is {self.status.value}, "
+                "cannot dissociate"
+            )
+        self.status = DepositStatus.FREE
+        self.channel_id = None
+
+    def mark_released(self) -> None:
+        if self.status is not DepositStatus.FREE:
+            raise DepositError(
+                f"only free deposits can be released "
+                f"({self.outpoint} is {self.status.value})"
+            )
+        self.status = DepositStatus.RELEASED
+
+    def mark_settled(self) -> None:
+        self.status = DepositStatus.SETTLED
+        self.channel_id = None

@@ -1,0 +1,726 @@
+"""The Teechain multi-hop payment protocol — paper Algorithm 2 and §5.
+
+A multi-hop payment moves ``amount`` from p1 to pn across a path of
+payment channels through six stages::
+
+    lock → sign → preUpdate → update → postUpdate → release
+    (1→n)  (n→1)   (1→n)       (n→1)    (1→n)        (n→1)
+
+The lock phase accumulates the components of τ — the *intermediate path
+settlement transaction* that spends every deposit of every channel in the
+path and pays everyone their post-payment balance.  Because τ conflicts
+with every individual channel settlement, the protocol can transition all
+channels from pre- to post-payment atomically with respect to the
+blockchain: at any instant, the set of transactions the chain could accept
+settles every channel consistently (§5.1's case analysis, reproduced in
+:meth:`MultihopMixin.eject` and :meth:`MultihopMixin.eject_with_popt`).
+
+Premature termination:
+
+* **eject** — the local participant walks away mid-payment.  Depending on
+  the stage, the TEE releases either the channels' individual settlements
+  (pre- or post-payment) or τ.
+* **eject with PoPT** — some *other* participant terminated first and
+  their settlement reached the blockchain.  Presenting that transaction
+  (the proof of premature termination) authorises this TEE to settle its
+  own channels in the *same* state.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.blockchain.transaction import OutPoint, Transaction
+from repro.core.messages import (
+    MultihopAbort,
+    MultihopLock,
+    MultihopPostUpdate,
+    MultihopPreUpdate,
+    MultihopRelease,
+    MultihopSign,
+    MultihopUpdate,
+    PathDescriptor,
+)
+from repro.core.channel_base import ChannelProtocol
+from repro.core.settlement import (
+    add_tau_signatures,
+    build_channel_settlement,
+    build_tau_from_components,
+    build_unsigned_settlement,
+    sign_settlement,
+)
+from repro.core.state import ChannelState, MultihopStage
+from repro.crypto.keys import PublicKey
+from repro.errors import MultihopError, SettlementError
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class MultihopSession:
+    """Per-enclave state for one in-flight multi-hop payment."""
+
+    path: PathDescriptor
+    position: int                      # 1-based index of this node
+    stage: MultihopStage
+    in_channel_id: Optional[str]       # channel with the previous hop
+    out_channel_id: Optional[str]      # channel with the next hop
+    # Candidate settlements of *local* channels at both states, built and
+    # signed at lock time so eject never needs remote cooperation.
+    local_pre_settlements: Dict[str, Transaction] = field(default_factory=dict)
+    local_post_settlements: Dict[str, Transaction] = field(default_factory=dict)
+    # txids of every channel's candidate settlements (from the lock
+    # accumulation) — the PoPT recognition set.
+    pre_txids: Tuple[str, ...] = ()
+    post_txids: Tuple[str, ...] = ()
+    tau: Optional[Transaction] = None
+    completed: bool = False
+
+    @property
+    def amount(self) -> int:
+        return self.path.amount
+
+    def local_channel_ids(self) -> List[str]:
+        return [cid for cid in (self.in_channel_id, self.out_channel_id)
+                if cid is not None]
+
+
+class MultihopMixin:
+    """Algorithm 2, mixed into :class:`ChannelProtocol`."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.multihop_sessions: Dict[str, MultihopSession] = {}
+        self.multihop_completed: List[str] = []
+        self.multihop_aborted: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _peer_name_of_key(self, key: PublicKey) -> str:
+        return self.peer_names[key.to_bytes()]
+
+    def _idle_channel_with(self, peer_name: str) -> ChannelState:
+        """Pick an open, idle channel whose peer is ``peer_name``.
+
+        Deterministic (lexicographic by id) so both test runs and the two
+        endpoints' expectations line up; temporary channels (§5.2) are
+        naturally selected when the primary is locked.
+        """
+        candidates = []
+        for channel in self.channels.values():
+            if not channel.is_open or channel.terminated:
+                continue
+            if channel.stage is not MultihopStage.IDLE:
+                continue
+            if self.peer_names.get(channel.remote_key.to_bytes()) == peer_name:
+                candidates.append(channel)
+        if not candidates:
+            raise MultihopError(
+                f"no idle open channel with {peer_name!r}"
+            )
+        return min(candidates, key=lambda channel: channel.channel_id)
+
+    def _session(self, payment_id: str) -> MultihopSession:
+        session = self.multihop_sessions.get(payment_id)
+        if session is None:
+            raise MultihopError(f"unknown multi-hop payment {payment_id!r}")
+        return session
+
+    def _my_name(self) -> str:
+        return self.enclave.name
+
+    def _channel_candidates_unsigned(
+        self, channel: ChannelState, amount: int, outgoing: bool
+    ):
+        """Unsigned pre/post-payment candidate settlements (and the
+        channel's deposit records).  ``outgoing`` is True when the local
+        party pays on this channel."""
+        records = [self.deposits[outpoint]
+                   for outpoint in sorted(channel.all_deposits())]
+        pre = build_unsigned_settlement(records, [
+            (channel.my_settlement_address, channel.my_balance),
+            (channel.remote_settlement_address, channel.remote_balance),
+        ])
+        delta = -amount if outgoing else amount
+        post = build_unsigned_settlement(records, [
+            (channel.my_settlement_address, channel.my_balance + delta),
+            (channel.remote_settlement_address,
+             channel.remote_balance - delta),
+        ])
+        return pre, post, records
+
+    def _channel_snapshot_settlements(
+        self, channel: ChannelState, amount: int, outgoing: bool,
+        payment_id: str,
+    ) -> Tuple[Transaction, Transaction]:
+        """Build the channel's *signed* pre- and post-payment settlement
+        candidates.
+
+        The unsigned txids are announced (replicated) to the committee
+        first: members refuse to co-sign anything outside their
+        replicated valid set, so candidates become valid before the
+        signing round — the in-enclave analogue of Alg. 3's
+        replicate-before-act rule."""
+        pre_unsigned, post_unsigned, records = \
+            self._channel_candidates_unsigned(channel, amount, outgoing)
+        self._announce_candidates(
+            payment_id, (pre_unsigned.txid, post_unsigned.txid))
+        provider = self._signing_provider()
+        pre = sign_settlement(pre_unsigned, records, provider)
+        post = sign_settlement(post_unsigned, records, provider)
+        return pre, post
+
+    def _announce_candidates(self, payment_id: str, txids) -> None:
+        pending = self.pending_candidate_txids.setdefault(payment_id, set())
+        new = set(txids) - pending
+        if new:
+            pending.update(new)
+            self._replicated(f"mh_candidates:{payment_id}")
+
+    def _lock_channel(self, channel: ChannelState, amount: int,
+                      outgoing: bool) -> None:
+        channel.require_open()
+        channel.require_stage(MultihopStage.IDLE)
+        if outgoing and channel.my_balance < amount:  # Alg. 2 line 7
+            raise MultihopError(
+                f"balance {channel.my_balance} < multihop amount {amount} "
+                f"on {channel.channel_id}"
+            )
+        channel.stage = MultihopStage.LOCK
+        channel.locked_amount = amount
+        channel.locked_outgoing = outgoing
+
+    def _set_stage(self, session: MultihopSession,
+                   stage: MultihopStage) -> None:
+        session.stage = stage
+        for channel_id in session.local_channel_ids():
+            self.channels[channel_id].stage = stage
+
+    # ------------------------------------------------------------------
+    # Initiation (Alg. 2 line 3)
+    # ------------------------------------------------------------------
+
+    def pay_multihop(self, payment_id: str, amount: int,
+                     hops: Sequence[str]) -> None:
+        """``payMultihop``: start a payment of ``amount`` along ``hops``
+        (node names, p1 = this node).  Algorithm 2 models this as p1
+        sending itself the initial lock message; we do the same."""
+        if amount <= 0:
+            raise MultihopError(f"amount must be positive, got {amount}")
+        if len(hops) < 2:
+            raise MultihopError("a multi-hop payment needs at least 2 nodes")
+        if hops[0] != self._my_name():
+            raise MultihopError("pay_multihop must start at the local node")
+        if len(set(hops)) != len(hops):
+            raise MultihopError("payment path visits a node twice")
+        if payment_id in self.multihop_sessions:
+            raise MultihopError(f"payment {payment_id!r} already exists")
+        path = PathDescriptor(payment_id=payment_id, amount=amount,
+                              hops=tuple(hops))
+        empty_lock = MultihopLock(
+            path=path, channel_ids=(), tau_deposits=(), tau_payouts=(),
+            pre_settlement_txids=(), post_settlement_txids=(),
+        )
+        self._handle_lock(self.identity.public, empty_lock, self_delivery=True)
+
+    # ------------------------------------------------------------------
+    # Stage 1: lock (1→n), Alg. 2 line 5
+    # ------------------------------------------------------------------
+
+    def _handle_lock(self, sender: PublicKey, lock: MultihopLock,
+                     self_delivery: bool = False) -> None:
+        path = lock.path
+        my_name = self._my_name()
+        position = path.position_of(my_name)
+        if path.payment_id in self.multihop_sessions:
+            raise MultihopError(f"duplicate lock for {path.payment_id!r}")
+        is_last = position == len(path.hops)
+
+        in_channel: Optional[ChannelState] = None
+        if position > 1:
+            # Our channel with the previous hop was chosen by the sender
+            # and is the last accumulated channel id.  Verify and lock it.
+            if not lock.channel_ids:
+                raise MultihopError("lock arrived without a channel choice")
+            in_channel = self.channels.get(lock.channel_ids[-1])
+            if in_channel is None:
+                raise MultihopError(
+                    f"previous hop chose unknown channel "
+                    f"{lock.channel_ids[-1]!r}"
+                )
+            if in_channel.remote_key != sender:
+                raise MultihopError("lock sender is not the channel peer")
+            self._verify_hop_contribution(lock, in_channel)
+            try:
+                self._lock_channel(in_channel, path.amount, outgoing=False)
+            except MultihopError:
+                self._send_abort(path, toward=sender,
+                                 reason="in-channel busy")
+                raise
+
+        session = MultihopSession(
+            path=path, position=position, stage=MultihopStage.LOCK,
+            in_channel_id=in_channel.channel_id if in_channel else None,
+            out_channel_id=None,
+        )
+        if in_channel is not None:
+            # Alg. 2 line 64 ejects with settlements of *both* adjacent
+            # channels, so the in-channel candidates are snapshotted at
+            # lock time too.
+            pre, post = self._channel_snapshot_settlements(
+                in_channel, path.amount, outgoing=False,
+                payment_id=path.payment_id,
+            )
+            session.local_pre_settlements[in_channel.channel_id] = pre
+            session.local_post_settlements[in_channel.channel_id] = post
+
+        if not is_last:
+            next_name = path.hops[position]  # 0-based: hops[position]
+            try:
+                out_channel = self._idle_channel_with(next_name)
+                self._lock_channel(out_channel, path.amount, outgoing=True)
+            except MultihopError:
+                if in_channel is not None:
+                    self._unlock_channel(in_channel)
+                    self._send_abort(path, toward=sender,
+                                     reason="out-channel unavailable")
+                raise
+            session.out_channel_id = out_channel.channel_id
+            pre, post = self._channel_snapshot_settlements(
+                out_channel, path.amount, outgoing=True,
+                payment_id=path.payment_id,
+            )
+            session.local_pre_settlements[out_channel.channel_id] = pre
+            session.local_post_settlements[out_channel.channel_id] = post
+            forwarded = self._extend_lock(lock, out_channel, pre, post)
+            session.pre_txids = forwarded.pre_settlement_txids
+            session.post_txids = forwarded.post_settlement_txids
+            self.multihop_sessions[path.payment_id] = session
+            self._replicated(f"mh_lock:{path.payment_id}")
+            self.send_secure(out_channel.remote_key, forwarded)  # line 11
+            return
+
+        # Terminal hop p_n (Alg. 2 line 12): build τ, sign our inputs,
+        # and start the sign phase back toward p1.
+        assert in_channel is not None
+        # The lock has now traversed every channel: its txid lists are the
+        # complete PoPT recognition set.
+        session.pre_txids = lock.pre_settlement_txids
+        session.post_txids = lock.post_settlement_txids
+        tau = build_tau_from_components(lock.tau_deposits, lock.tau_payouts)
+        self._announce_candidates(path.payment_id, (tau.txid,))
+        tau = add_tau_signatures(
+            tau, self._known_deposit_records(tau), self._signing_provider()
+        )
+        self._set_stage(session, MultihopStage.SIGN)  # line 13
+        self.multihop_sessions[path.payment_id] = session
+        self._replicated(f"mh_lock_last:{path.payment_id}")
+        self.send_secure(
+            in_channel.remote_key,
+            MultihopSign(path=path, tau=tau,
+                         pre_settlement_txids=lock.pre_settlement_txids,
+                         post_settlement_txids=lock.post_settlement_txids),
+        )  # line 14
+
+    def _verify_hop_contribution(self, lock: MultihopLock,
+                                 channel: ChannelState) -> None:
+        """The previous hop claimed our shared channel's balances and
+        deposits inside τ; recompute and compare.  A lying hop (trying to
+        settle the path at balances favouring itself) is caught here."""
+        pre, post, _records = self._channel_candidates_unsigned(
+            channel, lock.path.amount, outgoing=False
+        )
+        if lock.pre_settlement_txids[-1] != pre.txid:
+            raise MultihopError(
+                "previous hop misstated the channel's pre-payment settlement"
+            )
+        if lock.post_settlement_txids[-1] != post.txid:
+            raise MultihopError(
+                "previous hop misstated the channel's post-payment settlement"
+            )
+        our_outpoints = {
+            (outpoint, self.deposits[outpoint].value)
+            for outpoint in channel.all_deposits()
+        }
+        if not our_outpoints <= set(lock.tau_deposits):
+            raise MultihopError(
+                "previous hop omitted channel deposits from τ"
+            )
+
+    def _extend_lock(
+        self,
+        lock: MultihopLock,
+        out_channel: ChannelState,
+        pre: Transaction,
+        post: Transaction,
+    ) -> MultihopLock:
+        """Append our out-channel's contribution to the travelling lock."""
+        amount = lock.path.amount
+        deposits = tuple(
+            (outpoint, self.deposits[outpoint].value)
+            for outpoint in sorted(out_channel.all_deposits())
+        )
+        payouts = (
+            (out_channel.my_settlement_address,
+             out_channel.my_balance - amount),
+            (out_channel.remote_settlement_address,
+             out_channel.remote_balance + amount),
+        )
+        return MultihopLock(
+            path=lock.path,
+            channel_ids=lock.channel_ids + (out_channel.channel_id,),
+            tau_deposits=lock.tau_deposits + deposits,
+            tau_payouts=lock.tau_payouts + payouts,
+            pre_settlement_txids=lock.pre_settlement_txids + (pre.txid,),
+            post_settlement_txids=lock.post_settlement_txids + (post.txid,),
+        )
+
+    def _known_deposit_records(self, tau: Transaction):
+        """Deposit records (with keys we hold) for τ inputs we can sign."""
+        records = []
+        for tx_input in tau.inputs:
+            record = self.deposits.get(tx_input.outpoint)
+            if record is None:
+                continue
+            addresses = {key.address() for key in record.spec.public_keys}
+            if addresses & set(self.deposit_keys):
+                records.append(record)
+        return records
+
+    # ------------------------------------------------------------------
+    # Stage 2: sign (n→1), Alg. 2 line 15
+    # ------------------------------------------------------------------
+
+    def _handle_sign(self, sender: PublicKey, message: MultihopSign) -> None:
+        session = self._session(message.path.payment_id)
+        if session.stage is not MultihopStage.LOCK:  # line 16
+            raise MultihopError(
+                f"sign in stage {session.stage.value}, expected lock"
+            )
+        out_channel = self.channels[session.out_channel_id]
+        if out_channel.remote_key != sender:
+            raise MultihopError("sign from unexpected peer")
+        self._announce_candidates(message.path.payment_id,
+                                  (message.tau.txid,))
+        tau = add_tau_signatures(
+            message.tau, self._known_deposit_records(message.tau),
+            self._signing_provider(),
+        )
+        self._adopt_candidate_txids(session, message)
+        if session.position > 1:  # line 17
+            self._set_stage(session, MultihopStage.SIGN)  # line 18
+            in_channel = self.channels[session.in_channel_id]
+            self._replicated(f"mh_sign:{session.path.payment_id}")
+            self.send_secure(
+                in_channel.remote_key,
+                MultihopSign(
+                    path=message.path, tau=tau,
+                    pre_settlement_txids=message.pre_settlement_txids,
+                    post_settlement_txids=message.post_settlement_txids,
+                ),
+            )  # line 19
+            return
+        # p1 (Alg. 2 line 20): τ is fully signed; enter preUpdate.
+        self._verify_tau_complete(tau)
+        session.tau = tau  # line 21
+        self._set_stage(session, MultihopStage.PRE_UPDATE)  # line 22
+        self._replicated(f"mh_sign_head:{session.path.payment_id}")
+        self.send_secure(out_channel.remote_key,
+                         MultihopPreUpdate(path=message.path, tau=tau))  # 23
+
+    def _adopt_candidate_txids(self, session: MultihopSession,
+                               message: MultihopSign) -> None:
+        """Record the complete candidate lists from the sign message after
+        checking that our own channels' locally computed candidates appear
+        in them — a terminal hop cannot substitute fake candidates for
+        channels it does not own."""
+        pre = set(message.pre_settlement_txids)
+        post = set(message.post_settlement_txids)
+        for tx in session.local_pre_settlements.values():
+            if tx.txid not in pre:
+                raise MultihopError(
+                    "sign message omits a local channel's pre-payment "
+                    "candidate"
+                )
+        for tx in session.local_post_settlements.values():
+            if tx.txid not in post:
+                raise MultihopError(
+                    "sign message omits a local channel's post-payment "
+                    "candidate"
+                )
+        session.pre_txids = message.pre_settlement_txids
+        session.post_txids = message.post_settlement_txids
+
+    def _verify_tau_complete(self, tau: Transaction) -> None:
+        for tx_input in tau.inputs:
+            if not tx_input.witness.signatures:
+                raise MultihopError(
+                    f"τ input {tx_input.outpoint} is unsigned; refusing to "
+                    "enter the update phase"
+                )
+
+    # ------------------------------------------------------------------
+    # Stage 3: preUpdate (1→n), Alg. 2 line 24
+    # ------------------------------------------------------------------
+
+    def _handle_pre_update(self, sender: PublicKey,
+                           message: MultihopPreUpdate) -> None:
+        session = self._session(message.path.payment_id)
+        if session.stage is not MultihopStage.SIGN:  # line 25
+            raise MultihopError(
+                f"preUpdate in stage {session.stage.value}, expected sign"
+            )
+        in_channel = self.channels[session.in_channel_id]
+        if in_channel.remote_key != sender:
+            raise MultihopError("preUpdate from unexpected peer")
+        self._verify_tau_complete(message.tau)
+        session.tau = message.tau  # line 26
+        if session.position < len(session.path.hops):  # line 27
+            self._set_stage(session, MultihopStage.PRE_UPDATE)  # line 28
+            out_channel = self.channels[session.out_channel_id]
+            self._replicated(f"mh_preupdate:{session.path.payment_id}")
+            self.send_secure(out_channel.remote_key, message)  # line 29
+            return
+        # p_n (line 30): commit to post-payment and start update phase.
+        self._set_stage(session, MultihopStage.UPDATE)  # line 31
+        self._apply_balance_update(session)  # line 32
+        self._replicated(f"mh_update_last:{session.path.payment_id}")
+        self.send_secure(in_channel.remote_key,
+                         MultihopUpdate(path=message.path))  # line 33
+
+    def _apply_balance_update(self, session: MultihopSession) -> None:
+        """Move ``amount`` across this node's adjacent channels.
+
+        In-channel (with the previous hop): we gain.  Out-channel (with
+        the next hop): we pay.  Both views of each channel converge once
+        both endpoints have run their update stage."""
+        amount = session.amount
+        if session.in_channel_id is not None:
+            channel = self.channels[session.in_channel_id]
+            channel.my_balance += amount
+            channel.remote_balance -= amount
+        if session.out_channel_id is not None:
+            channel = self.channels[session.out_channel_id]
+            channel.my_balance -= amount
+            channel.remote_balance += amount
+
+    # ------------------------------------------------------------------
+    # Stage 4: update (n→1), Alg. 2 line 34
+    # ------------------------------------------------------------------
+
+    def _handle_update(self, sender: PublicKey,
+                       message: MultihopUpdate) -> None:
+        session = self._session(message.path.payment_id)
+        if session.stage is not MultihopStage.PRE_UPDATE:  # line 35
+            raise MultihopError(
+                f"update in stage {session.stage.value}, expected preUpdate"
+            )
+        out_channel = self.channels[session.out_channel_id]
+        if out_channel.remote_key != sender:
+            raise MultihopError("update from unexpected peer")
+        if session.position > 1:  # line 36
+            self._set_stage(session, MultihopStage.UPDATE)  # line 37
+            self._apply_balance_update(session)  # lines 38–39
+            in_channel = self.channels[session.in_channel_id]
+            self._replicated(f"mh_update:{session.path.payment_id}")
+            self.send_secure(in_channel.remote_key, message)  # line 40
+            return
+        # p1 (line 41): discard τ, commit our balance, enter postUpdate.
+        session.tau = None  # line 42
+        self._apply_balance_update(session)
+        self._set_stage(session, MultihopStage.POST_UPDATE)  # line 43
+        self._replicated(f"mh_postupdate_head:{session.path.payment_id}")
+        self.send_secure(out_channel.remote_key,
+                         MultihopPostUpdate(path=message.path))  # line 44
+
+    # ------------------------------------------------------------------
+    # Stage 5: postUpdate (1→n), Alg. 2 line 46
+    # ------------------------------------------------------------------
+
+    def _handle_post_update(self, sender: PublicKey,
+                            message: MultihopPostUpdate) -> None:
+        session = self._session(message.path.payment_id)
+        if session.stage is not MultihopStage.UPDATE:  # line 47
+            raise MultihopError(
+                f"postUpdate in stage {session.stage.value}, expected update"
+            )
+        in_channel = self.channels[session.in_channel_id]
+        if in_channel.remote_key != sender:
+            raise MultihopError("postUpdate from unexpected peer")
+        session.tau = None  # line 49
+        if session.position < len(session.path.hops):  # line 48
+            self._set_stage(session, MultihopStage.POST_UPDATE)  # line 50
+            out_channel = self.channels[session.out_channel_id]
+            self._replicated(f"mh_postupdate:{session.path.payment_id}")
+            self.send_secure(out_channel.remote_key, message)  # line 51
+            return
+        # p_n (line 52): done — release locks back toward p1.
+        self._finish_session(session)  # line 53 (stage ← idle)
+        self._replicated(f"mh_release_last:{session.path.payment_id}")
+        self.send_secure(in_channel.remote_key,
+                         MultihopRelease(path=message.path))  # line 54
+
+    # ------------------------------------------------------------------
+    # Stage 6: release (n→1), Alg. 2 line 55
+    # ------------------------------------------------------------------
+
+    def _handle_release(self, sender: PublicKey,
+                        message: MultihopRelease) -> None:
+        session = self._session(message.path.payment_id)
+        if session.stage is not MultihopStage.POST_UPDATE:  # line 56
+            raise MultihopError(
+                f"release in stage {session.stage.value}, expected postUpdate"
+            )
+        out_channel = self.channels[session.out_channel_id]
+        if out_channel.remote_key != sender:
+            raise MultihopError("release from unexpected peer")
+        self._finish_session(session)  # line 57
+        self._replicated(f"mh_release:{session.path.payment_id}")
+        if session.position > 1:  # line 58
+            in_channel = self.channels[session.in_channel_id]
+            self.send_secure(in_channel.remote_key, message)  # line 59
+
+    def _finish_session(self, session: MultihopSession) -> None:
+        session.stage = MultihopStage.IDLE
+        session.completed = True
+        session.tau = None
+        session.local_pre_settlements.clear()
+        session.local_post_settlements.clear()
+        for channel_id in session.local_channel_ids():
+            channel = self.channels[channel_id]
+            channel.stage = MultihopStage.IDLE
+            channel.locked_amount = 0
+        self.multihop_completed.append(session.path.payment_id)
+        self.pending_candidate_txids.pop(session.path.payment_id, None)
+        del self.multihop_sessions[session.path.payment_id]
+
+    # ------------------------------------------------------------------
+    # Lock-phase abort (contention handling, §7.4)
+    # ------------------------------------------------------------------
+
+    def _send_abort(self, path: PathDescriptor, toward: PublicKey,
+                    reason: str) -> None:
+        self.send_secure(toward, MultihopAbort(path=path, reason=reason))
+
+    def _handle_abort(self, sender: PublicKey, message: MultihopAbort) -> None:
+        session = self.multihop_sessions.get(message.path.payment_id)
+        if session is None:
+            return  # already aborted/unknown; nothing to release
+        if session.stage is not MultihopStage.LOCK:
+            raise MultihopError(
+                "abort received after the sign phase began; aborting is no "
+                "longer safe — use eject"
+            )
+        for channel_id in session.local_channel_ids():
+            self._unlock_channel(self.channels[channel_id])
+        del self.multihop_sessions[message.path.payment_id]
+        self.pending_candidate_txids.pop(message.path.payment_id, None)
+        self.multihop_aborted[message.path.payment_id] = message.reason
+        self._replicated(f"mh_abort:{message.path.payment_id}")
+        if session.position > 1 and session.in_channel_id is not None:
+            in_channel = self.channels[session.in_channel_id]
+            self.send_secure(in_channel.remote_key, message)
+
+    def _unlock_channel(self, channel: ChannelState) -> None:
+        channel.stage = MultihopStage.IDLE
+        channel.locked_amount = 0
+        channel.locked_outgoing = False
+
+    # ------------------------------------------------------------------
+    # Premature termination (Alg. 2 lines 60–72, §5.1 case analysis)
+    # ------------------------------------------------------------------
+
+    def eject(self, payment_id: str) -> List[Transaction]:
+        """``eject`` (line 60): abandon the payment unilaterally.
+
+        Returns the transactions the participant should broadcast:
+
+        * stage **lock**/**sign** — the local channels' *pre-payment*
+          settlements (balances are still pre-payment);
+        * stage **preUpdate**/**update** — **τ** (line 65), settling the
+          whole path at post-payment;
+        * stage **postUpdate**/**release** — the local channels'
+          *post-payment* settlements.
+        """
+        session = self._session(payment_id)
+        stage = session.stage  # line 61
+        self._terminate_session(session)  # line 62
+        if stage in (MultihopStage.LOCK, MultihopStage.SIGN):
+            return list(session.local_pre_settlements.values())  # line 64
+        if stage in (MultihopStage.PRE_UPDATE, MultihopStage.UPDATE):
+            if session.tau is None:
+                raise SettlementError("no τ held at this stage")
+            return [session.tau]  # line 65
+        if stage in (MultihopStage.POST_UPDATE, MultihopStage.RELEASE):
+            return list(session.local_post_settlements.values())  # line 64
+        raise MultihopError(f"cannot eject from stage {stage.value}")
+
+    def eject_with_popt(self, payment_id: str,
+                        popt: Transaction) -> List[Transaction]:
+        """``eject(popt)`` (line 66): another participant terminated and
+        ``popt`` — their settlement, observed on the blockchain — proves
+        at which state.  The TEE verifies the transaction against the
+        candidate-settlement txids recorded during the lock phase and
+        releases this node's settlements in the matching state."""
+        session = self._session(payment_id)
+        if popt.txid in session.pre_txids:
+            state = "pre"  # line 69
+        elif popt.txid in session.post_txids:
+            state = "post"  # line 71
+        else:
+            raise SettlementError(
+                "presented transaction is not a settlement of any channel "
+                "in this multi-hop payment"
+            )
+        self._terminate_session(session)  # line 68
+        if state == "pre":
+            return list(session.local_pre_settlements.values())  # line 70
+        return list(session.local_post_settlements.values())  # line 72
+
+    def _terminate_session(self, session: MultihopSession) -> None:
+        session.stage = MultihopStage.TERMINATED
+        for channel_id in session.local_channel_ids():
+            channel = self.channels[channel_id]
+            for outpoint in channel.all_deposits():
+                record = self.deposits.get(outpoint)
+                if record is not None:
+                    record.mark_settled()
+            self.settlements.setdefault(channel_id, None)
+            channel.reset()
+        self._replicated(f"mh_terminated:{session.path.payment_id}")
+
+    # ------------------------------------------------------------------
+    # Dispatch extension
+    # ------------------------------------------------------------------
+
+    _MULTIHOP_HANDLERS = {
+        MultihopLock: "_handle_lock",
+        MultihopSign: "_handle_sign",
+        MultihopPreUpdate: "_handle_pre_update",
+        MultihopUpdate: "_handle_update",
+        MultihopPostUpdate: "_handle_post_update",
+        MultihopRelease: "_handle_release",
+        MultihopAbort: "_handle_abort",
+    }
+
+    def _lookup_handler(self, body_type: type):
+        handler = self._MULTIHOP_HANDLERS.get(body_type)
+        if handler is not None:
+            return handler
+        return super()._lookup_handler(body_type)
+
+
+class TeechainEnclave(MultihopMixin, ChannelProtocol):
+    """The complete Teechain enclave program: payment channels
+    (Algorithm 1) plus multi-hop payments (Algorithm 2)."""
+
+    PROGRAM_NAME = "teechain"
+    PROGRAM_VERSION = 1
+
+    FREEZE_ALLOWED = ChannelProtocol.FREEZE_ALLOWED + (
+        "eject", "eject_with_popt",
+    )

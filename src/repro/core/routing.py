@@ -1,0 +1,63 @@
+"""Payment routing over the channel overlay.
+
+Route *discovery* is out of scope for the paper (§3 footnote: participants
+determine paths out-of-band); its evaluation nonetheless needs two
+policies, which we provide:
+
+* shortest path (§7.4, "we use the shortest possible path — if there are
+  multiple, only one is chosen"); and
+* dynamic routing (§7.4, Table 3): on payment failure, retry over
+  incrementally longer paths to route around channel-lock contention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx
+
+from repro.errors import RoutingError
+from repro.network.topology import Overlay
+
+
+def overlay_graph(overlay: Overlay) -> "networkx.Graph":
+    """Build the channel graph for an overlay."""
+    graph = networkx.Graph()
+    graph.add_nodes_from(overlay.nodes)
+    graph.add_edges_from(overlay.channels)
+    return graph
+
+
+def shortest_path(overlay: Overlay, source: str, target: str) -> List[str]:
+    """The single shortest channel path from ``source`` to ``target``.
+
+    Ties are broken deterministically by networkx's BFS order, matching
+    the paper's "only one is chosen"."""
+    graph = overlay_graph(overlay)
+    try:
+        return networkx.shortest_path(graph, source, target)
+    except networkx.NetworkXNoPath as exc:
+        raise RoutingError(f"no path from {source} to {target}") from exc
+    except networkx.NodeNotFound as exc:
+        raise RoutingError(str(exc)) from exc
+
+
+def iter_paths_by_length(overlay: Overlay, source: str, target: str,
+                         limit: Optional[int] = None) -> Iterator[List[str]]:
+    """Simple paths from shortest to longest — the dynamic-routing retry
+    order ("each machine first tries the shortest path, before
+    incrementally trying longer paths", §7.4)."""
+    graph = overlay_graph(overlay)
+    try:
+        paths = networkx.shortest_simple_paths(graph, source, target)
+    except (networkx.NetworkXNoPath, networkx.NodeNotFound) as exc:
+        raise RoutingError(f"no path from {source} to {target}") from exc
+    for count, path in enumerate(paths):
+        if limit is not None and count >= limit:
+            return
+        yield path
+
+
+def path_length(path: Sequence[str]) -> int:
+    """Number of hops (channels) in a node path."""
+    return max(0, len(path) - 1)

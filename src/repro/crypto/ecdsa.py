@@ -1,0 +1,241 @@
+"""secp256k1 ECDSA in pure Python.
+
+This is the same curve and signature scheme Teechain's implementation uses
+(via libsecp256k1); we implement it directly so the reproduction has zero
+native dependencies.  Features:
+
+* Jacobian-coordinate point arithmetic (affine inversion only at the end).
+* RFC 6979 deterministic nonces — signatures are reproducible, which keeps
+  every test and benchmark deterministic.
+* Low-s normalisation (BIP 62), matching Bitcoin consensus rules.
+
+Performance note: pure-Python ECDSA signs in roughly a millisecond.  The
+benchmark harness therefore measures protocol timing on the simulated clock
+and uses a calibrated CPU cost model (see ``repro.bench.calibration``); the
+crypto here guarantees *correctness* of every signature the protocols
+exchange.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import InvalidKey, InvalidSignature
+
+# secp256k1 domain parameters.
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+A = 0
+B = 7
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+# A point is an (x, y) affine pair, or None for the point at infinity.
+AffinePoint = Optional[Tuple[int, int]]
+# Jacobian points are (X, Y, Z) with x = X/Z^2, y = Y/Z^3.
+JacobianPoint = Tuple[int, int, int]
+
+_JACOBIAN_INFINITY: JacobianPoint = (0, 1, 0)
+
+
+def _to_jacobian(point: AffinePoint) -> JacobianPoint:
+    if point is None:
+        return _JACOBIAN_INFINITY
+    return (point[0], point[1], 1)
+
+
+def _from_jacobian(point: JacobianPoint) -> AffinePoint:
+    x, y, z = point
+    if z == 0:
+        return None
+    z_inv = pow(z, P - 2, P)
+    z_inv2 = (z_inv * z_inv) % P
+    return ((x * z_inv2) % P, (y * z_inv2 * z_inv) % P)
+
+
+def _jacobian_double(point: JacobianPoint) -> JacobianPoint:
+    x, y, z = point
+    if z == 0 or y == 0:
+        return _JACOBIAN_INFINITY
+    ysq = (y * y) % P
+    s = (4 * x * ysq) % P
+    m = (3 * x * x) % P  # a == 0 for secp256k1
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = (2 * y * z) % P
+    return (nx, ny, nz)
+
+
+def _jacobian_add(p: JacobianPoint, q: JacobianPoint) -> JacobianPoint:
+    if p[2] == 0:
+        return q
+    if q[2] == 0:
+        return p
+    x1, y1, z1 = p
+    x2, y2, z2 = q
+    z1z1 = (z1 * z1) % P
+    z2z2 = (z2 * z2) % P
+    u1 = (x1 * z2z2) % P
+    u2 = (x2 * z1z1) % P
+    s1 = (y1 * z2 * z2z2) % P
+    s2 = (y2 * z1 * z1z1) % P
+    if u1 == u2:
+        if s1 != s2:
+            return _JACOBIAN_INFINITY
+        return _jacobian_double(p)
+    h = (u2 - u1) % P
+    i = (4 * h * h) % P
+    j = (h * i) % P
+    r = (2 * (s2 - s1)) % P
+    v = (u1 * i) % P
+    nx = (r * r - j - 2 * v) % P
+    ny = (r * (v - nx) - 2 * s1 * j) % P
+    nz = (2 * h * z1 * z2) % P
+    return (nx, ny, nz)
+
+
+def _jacobian_multiply(point: JacobianPoint, scalar: int) -> JacobianPoint:
+    scalar %= N
+    result = _JACOBIAN_INFINITY
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = _jacobian_add(result, addend)
+        addend = _jacobian_double(addend)
+        scalar >>= 1
+    return result
+
+
+def point_multiply(scalar: int, point: AffinePoint = (GX, GY)) -> AffinePoint:
+    """Scalar multiplication ``scalar * point`` (defaults to the generator)."""
+    return _from_jacobian(_jacobian_multiply(_to_jacobian(point), scalar))
+
+
+def point_add(p: AffinePoint, q: AffinePoint) -> AffinePoint:
+    """Affine point addition."""
+    return _from_jacobian(_jacobian_add(_to_jacobian(p), _to_jacobian(q)))
+
+
+def is_on_curve(point: AffinePoint) -> bool:
+    """Whether ``point`` satisfies y^2 = x^3 + 7 (mod p)."""
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - x * x * x - B) % P == 0
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An ECDSA signature ``(r, s)`` with low-s normalisation applied."""
+
+    r: int
+    s: int
+
+    def to_bytes(self) -> bytes:
+        """Fixed-width 64-byte encoding (32-byte r || 32-byte s)."""
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Signature":
+        if len(data) != 64:
+            raise InvalidSignature(f"signature must be 64 bytes, got {len(data)}")
+        return cls(int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+
+
+def _bits_to_int(data: bytes) -> int:
+    value = int.from_bytes(data, "big")
+    excess = len(data) * 8 - N.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def _rfc6979_nonce(private_key: int, digest: bytes) -> int:
+    """Deterministic nonce per RFC 6979 with HMAC-SHA256."""
+    holen = 32
+    x = private_key.to_bytes(32, "big")
+    h1 = _bits_to_int(digest) % N
+    h1_bytes = h1.to_bytes(32, "big")
+    v = b"\x01" * holen
+    k = b"\x00" * holen
+    k = hmac.new(k, v + b"\x00" + x + h1_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + x + h1_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    while True:
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        candidate = _bits_to_int(v)
+        if 1 <= candidate < N:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+def sign(private_key: int, digest: bytes) -> Signature:
+    """Sign a 32-byte ``digest`` with ``private_key``.
+
+    The caller hashes; this function signs the digest directly, mirroring
+    libsecp256k1's ``ecdsa_sign``.
+    """
+    if not 1 <= private_key < N:
+        raise InvalidKey("private key out of range")
+    if len(digest) != 32:
+        raise InvalidSignature(f"digest must be 32 bytes, got {len(digest)}")
+    z = _bits_to_int(digest)
+    k = _rfc6979_nonce(private_key, digest)
+    while True:
+        point = point_multiply(k)
+        assert point is not None
+        r = point[0] % N
+        if r == 0:
+            k = (k + 1) % N or 1
+            continue
+        k_inv = pow(k, N - 2, N)
+        s = (k_inv * (z + r * private_key)) % N
+        if s == 0:
+            k = (k + 1) % N or 1
+            continue
+        if s > N // 2:  # low-s normalisation (BIP 62)
+            s = N - s
+        return Signature(r, s)
+
+
+def verify(public_key: Tuple[int, int], digest: bytes, signature: Signature) -> bool:
+    """Verify ``signature`` over ``digest`` against an affine public key.
+
+    Returns ``False`` (never raises) for invalid signatures so callers can
+    treat verification as a predicate; malformed *keys* raise
+    :class:`InvalidKey` because they indicate caller bugs, not attacks.
+    """
+    if not is_on_curve(public_key) or public_key is None:
+        raise InvalidKey("public key is not on secp256k1")
+    if len(digest) != 32:
+        return False
+    r, s = signature.r, signature.s
+    if not (1 <= r < N and 1 <= s < N):
+        return False
+    z = _bits_to_int(digest)
+    s_inv = pow(s, N - 2, N)
+    u1 = (z * s_inv) % N
+    u2 = (r * s_inv) % N
+    point = _from_jacobian(
+        _jacobian_add(
+            _jacobian_multiply(_to_jacobian((GX, GY)), u1),
+            _jacobian_multiply(_to_jacobian(public_key), u2),
+        )
+    )
+    if point is None:
+        return False
+    return point[0] % N == r
+
+
+def derive_public_key(private_key: int) -> Tuple[int, int]:
+    """Compute the affine public key for ``private_key``."""
+    if not 1 <= private_key < N:
+        raise InvalidKey("private key out of range")
+    point = point_multiply(private_key)
+    assert point is not None
+    return point

@@ -1,0 +1,62 @@
+"""Hash functions used by the blockchain and protocol layers."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+
+def sha256(data: bytes) -> bytes:
+    """Single SHA-256."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256d(data: bytes) -> bytes:
+    """Double SHA-256, Bitcoin's transaction/block hash."""
+    return hashlib.sha256(hashlib.sha256(data).digest()).digest()
+
+
+def hash160(data: bytes) -> bytes:
+    """RIPEMD-160(SHA-256(data)), Bitcoin's address hash.
+
+    Falls back to a truncated double-SHA-256 when the host OpenSSL build
+    ships without RIPEMD-160 (common on modern distributions).  The fallback
+    keeps the 20-byte output and collision resistance the address format
+    relies on; it is flagged via :data:`RIPEMD_AVAILABLE` for anyone who
+    needs byte-exact Bitcoin addresses.
+    """
+    inner = hashlib.sha256(data).digest()
+    if RIPEMD_AVAILABLE:
+        ripe = hashlib.new("ripemd160")
+        ripe.update(inner)
+        return ripe.digest()
+    return sha256d(inner)[:20]
+
+
+def _probe_ripemd() -> bool:
+    try:
+        hashlib.new("ripemd160")
+    except (ValueError, TypeError):
+        return False
+    return True
+
+
+RIPEMD_AVAILABLE = _probe_ripemd()
+
+
+def merkle_root(leaves: Sequence[bytes]) -> bytes:
+    """Bitcoin-style Merkle root over ``leaves`` (already-hashed items).
+
+    An empty leaf list hashes to 32 zero bytes (used by empty blocks).
+    Odd levels duplicate the final entry, as in Bitcoin.
+    """
+    if not leaves:
+        return b"\x00" * 32
+    level: List[bytes] = list(leaves)
+    while len(level) > 1:
+        if len(level) % 2 == 1:
+            level.append(level[-1])
+        level = [
+            sha256d(level[i] + level[i + 1]) for i in range(0, len(level), 2)
+        ]
+    return level[0]

@@ -1,0 +1,115 @@
+"""m-of-n multisignature helpers (Bitcoin CHECKMULTISIG semantics).
+
+Teechain deposits pay into m-out-of-n multisignature addresses owned by the
+TEEs of a committee chain (paper §3, §6.1).  This module provides the
+threshold-verification logic shared by the blockchain's script interpreter
+and the settlement builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.crypto.ecdsa import Signature
+from repro.crypto.hashing import hash160
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.errors import ThresholdError
+
+
+@dataclass(frozen=True)
+class MultisigSpec:
+    """An m-of-n multisignature lock: ``threshold`` of ``public_keys``."""
+
+    threshold: int
+    public_keys: Tuple[PublicKey, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.threshold <= len(self.public_keys):
+            raise ThresholdError(
+                f"invalid multisig {self.threshold}-of-{len(self.public_keys)}"
+            )
+        encodings = [key.to_bytes() for key in self.public_keys]
+        if len(set(encodings)) != len(encodings):
+            raise ThresholdError("duplicate public keys in multisig spec")
+
+    @property
+    def total(self) -> int:
+        return len(self.public_keys)
+
+    def address(self) -> str:
+        """P2SH-style address: hash of the serialised redeem condition."""
+        payload = bytes([self.threshold, self.total]) + b"".join(
+            key.to_bytes() for key in self.public_keys
+        )
+        return "msig" + hash160(payload).hex()
+
+    def verify(self, digest: bytes, signatures: Sequence[Signature]) -> bool:
+        """CHECKMULTISIG: at least ``threshold`` signatures, each matching a
+        distinct listed key.  Order-insensitive (stricter than Bitcoin,
+        which requires signature order to follow key order; order
+        insensitivity only ever *accepts more* valid witnesses)."""
+        if len(signatures) < self.threshold:
+            return False
+        used = set()
+        matched = 0
+        for signature in signatures:
+            for position, key in enumerate(self.public_keys):
+                if position in used:
+                    continue
+                if key.verify(digest, signature):
+                    used.add(position)
+                    matched += 1
+                    break
+            if matched >= self.threshold:
+                return True
+        return False
+
+    def cost_weight(self) -> float:
+        """Table 4 blockchain-cost weight for an output locked by this spec:
+        ``n/2`` — *n* public keys, counted in units of (pubkey+signature)
+        pairs per the paper's cost metric."""
+        return self.total / 2.0
+
+
+def collect_signatures(
+    digest: bytes, private_keys: Sequence[PrivateKey], spec: MultisigSpec
+) -> List[Signature]:
+    """Sign ``digest`` with each key and check the bundle satisfies ``spec``.
+
+    Raises :class:`ThresholdError` if the provided keys cannot meet the
+    threshold — callers (committee chains) use this to fail loudly when a
+    quorum is unavailable rather than emitting an unspendable transaction.
+    """
+    signatures = [key.sign(digest) for key in private_keys]
+    if not spec.verify(digest, signatures):
+        raise ThresholdError(
+            f"{len(private_keys)} keys do not satisfy "
+            f"{spec.threshold}-of-{spec.total} for this digest"
+        )
+    return signatures
+
+
+def verify_multisig(
+    spec: MultisigSpec, digest: bytes, signatures: Sequence[Signature]
+) -> bool:
+    """Functional wrapper over :meth:`MultisigSpec.verify`."""
+    return spec.verify(digest, signatures)
+
+
+def share_indices_for_keys(
+    spec: MultisigSpec, holders: Dict[str, PublicKey]
+) -> Dict[str, int]:
+    """Map holder names to their key's 1-based position in the spec.
+
+    Committee bookkeeping helper: share indices in Shamir sharing must match
+    multisig key positions so reconstructed keys sign for the right slot.
+    """
+    positions = {key.to_bytes(): i + 1 for i, key in enumerate(spec.public_keys)}
+    result = {}
+    for name, key in holders.items():
+        encoded = key.to_bytes()
+        if encoded not in positions:
+            raise ThresholdError(f"holder {name} is not a committee member")
+        result[name] = positions[encoded]
+    return result

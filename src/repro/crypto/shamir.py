@@ -1,0 +1,99 @@
+"""Shamir threshold secret sharing over GF(p).
+
+Used by committee chains (paper §6) to split deposit private keys so that
+any *m* of *n* committee TEEs can reconstruct a signing key, but fewer than
+*m* compromised TEEs learn nothing.  We share secrets over the secp256k1
+group order so private-key scalars can be shared directly.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.crypto import ecdsa
+from repro.errors import ThresholdError
+
+_PRIME = ecdsa.N  # share scalars in the signature group's order
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: the polynomial evaluated at ``index``."""
+
+    index: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.index <= 0:
+            raise ThresholdError("share indices must be positive")
+        if not 0 <= self.value < _PRIME:
+            raise ThresholdError("share value out of field range")
+
+
+def split_secret(
+    secret: int, threshold: int, total: int, rng: "secrets.SystemRandom | None" = None
+) -> List[Share]:
+    """Split ``secret`` into ``total`` shares, any ``threshold`` of which
+    reconstruct it.
+
+    ``threshold == 1`` degenerates to replication (every share *is* the
+    secret), matching the paper's 1-out-of-n crash-only committees.
+    """
+    if not 1 <= threshold <= total:
+        raise ThresholdError(
+            f"invalid threshold {threshold}-out-of-{total}"
+        )
+    if not 0 <= secret < _PRIME:
+        raise ThresholdError("secret out of field range")
+    randrange = rng.randrange if rng is not None else (
+        lambda upper: secrets.randbelow(upper)
+    )
+    coefficients = [secret] + [randrange(_PRIME) for _ in range(threshold - 1)]
+    shares = []
+    for index in range(1, total + 1):
+        value = 0
+        for coefficient in reversed(coefficients):  # Horner evaluation
+            value = (value * index + coefficient) % _PRIME
+        shares.append(Share(index, value))
+    return shares
+
+
+def combine_shares(shares: Sequence[Share], threshold: int) -> int:
+    """Reconstruct the secret from at least ``threshold`` distinct shares.
+
+    Raises :class:`ThresholdError` when too few (or duplicate-index) shares
+    are supplied — the committee-chain code relies on this to refuse
+    under-threshold spends.
+    """
+    unique: Dict[int, int] = {}
+    for share in shares:
+        if share.index in unique and unique[share.index] != share.value:
+            raise ThresholdError(f"conflicting shares for index {share.index}")
+        unique[share.index] = share.value
+    if len(unique) < threshold:
+        raise ThresholdError(
+            f"need {threshold} shares, got {len(unique)} distinct"
+        )
+    indices = list(unique)[:threshold]
+    secret = 0
+    for i in indices:
+        numerator = 1
+        denominator = 1
+        for j in indices:
+            if i == j:
+                continue
+            numerator = (numerator * -j) % _PRIME
+            denominator = (denominator * (i - j)) % _PRIME
+        lagrange = numerator * pow(denominator, _PRIME - 2, _PRIME)
+        secret = (secret + unique[i] * lagrange) % _PRIME
+    return secret
+
+
+def reshare(
+    shares: Iterable[Share], threshold: int, new_total: int
+) -> List[Share]:
+    """Reconstruct and re-split a secret (committee membership change)."""
+    secret = combine_shares(list(shares), threshold)
+    return split_secret(secret, threshold, new_total)

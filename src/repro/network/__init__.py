@@ -1,0 +1,36 @@
+"""Simulated network transport.
+
+* :mod:`~repro.network.transport` — named endpoints exchanging messages
+  over a :class:`~repro.simulation.Scheduler`, with per-pair latency and
+  bandwidth; plus an instant in-memory transport for direct-mode tests.
+* :mod:`~repro.network.topology` — the paper's Fig. 3 testbed (UK/US/IL
+  RTT and bandwidth matrix) and the Fig. 5 hub-and-spoke / complete-graph
+  overlays used in §7.4.
+* :mod:`~repro.network.secure_channel` — attested, authenticated,
+  replay-protected channels between enclaves (paper §4.1).
+* :mod:`~repro.network.adversary` — drop / delay / replay / reorder
+  attacks on the wire.
+"""
+
+from repro.network.adversary import NetworkAdversary
+from repro.network.secure_channel import SecureChannel, establish_secure_channel
+from repro.network.topology import (
+    Topology,
+    complete_graph_overlay,
+    fig3_topology,
+    hub_and_spoke_overlay,
+)
+from repro.network.transport import InstantNetwork, Message, Network
+
+__all__ = [
+    "InstantNetwork",
+    "Message",
+    "Network",
+    "NetworkAdversary",
+    "SecureChannel",
+    "Topology",
+    "complete_graph_overlay",
+    "establish_secure_channel",
+    "fig3_topology",
+    "hub_and_spoke_overlay",
+]

@@ -1,0 +1,133 @@
+"""Network-level adversary (threat model §2.4: parties "may drop, send,
+record, modify, and replay messages").
+
+Installed as a wire tap on a transport; policies act per (sender,
+destination) pair or globally.  Recorded messages can be replayed later —
+the attack the secure channel's freshness counters must defeat.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.network.transport import BaseNetwork, InstantNetwork, Message, Network
+
+
+@dataclass
+class _PairPolicy:
+    drop: bool = False
+    drop_probability: float = 0.0
+    extra_delay: float = 0.0
+    duplicate: bool = False
+    # Let this many messages through, then drop everything after them —
+    # for stalling a protocol at a chosen phase.
+    drop_after: Optional[int] = None
+    seen: int = 0
+
+
+class NetworkAdversary:
+    """Message-level attacks over a transport.
+
+    Usage::
+
+        adversary = NetworkAdversary(network, rng_seed=7)
+        adversary.partition("alice", "bob")       # drop all alice→bob
+        adversary.delay("bob", "carol", 5.0)      # add 5 s one way
+        adversary.record("alice", "bob")          # tape for replay
+        ...
+        adversary.replay_recorded(index=0)        # inject old message
+    """
+
+    def __init__(self, network: BaseNetwork, rng_seed: int = 0) -> None:
+        self.network = network
+        self._rng = random.Random(rng_seed)
+        self._policies: Dict[Tuple[str, str], _PairPolicy] = {}
+        self._recording: Dict[Tuple[str, str], bool] = {}
+        self.recorded: List[Message] = []
+        self.dropped: List[Message] = []
+        network.add_tap(self._tap)
+
+    def _policy(self, sender: str, destination: str) -> _PairPolicy:
+        key = (sender, destination)
+        if key not in self._policies:
+            self._policies[key] = _PairPolicy()
+        return self._policies[key]
+
+    # -- policy configuration --------------------------------------------
+
+    def partition(self, sender: str, destination: str) -> None:
+        """Drop every message sender→destination (one direction)."""
+        self._policy(sender, destination).drop = True
+
+    def heal(self, sender: str, destination: str) -> None:
+        self._policy(sender, destination).drop = False
+
+    def lossy(self, sender: str, destination: str, probability: float) -> None:
+        self._policy(sender, destination).drop_probability = probability
+
+    def delay(self, sender: str, destination: str, extra_seconds: float) -> None:
+        self._policy(sender, destination).extra_delay = extra_seconds
+
+    def drop_after(self, sender: str, destination: str, count: int) -> None:
+        """Allow ``count`` more messages sender→destination, then drop all
+        later ones.  Used by tests to freeze a protocol mid-phase."""
+        policy = self._policy(sender, destination)
+        policy.drop_after = count
+        policy.seen = 0
+
+    def duplicate(self, sender: str, destination: str) -> None:
+        """Deliver each matching message twice (network-level duplication)."""
+        self._policy(sender, destination).duplicate = True
+
+    def record(self, sender: str, destination: str) -> None:
+        """Start taping messages for later replay."""
+        self._recording[(sender, destination)] = True
+
+    # -- replay ------------------------------------------------------------
+
+    def replay_recorded(self, index: int) -> None:
+        """Re-inject a taped message as-is."""
+        message = self.recorded[index]
+        self._inject(message, extra_delay=0.0)
+
+    def replay_all(self) -> None:
+        for index in range(len(self.recorded)):
+            self.replay_recorded(index)
+
+    # -- tap implementation -------------------------------------------------
+
+    def _tap(self, message: Message) -> Optional[bool]:
+        key = (message.sender, message.destination)
+        if self._recording.get(key):
+            self.recorded.append(message)
+        policy = self._policies.get(key)
+        if policy is None:
+            return True
+        if policy.drop:
+            self.dropped.append(message)
+            return False
+        if policy.drop_after is not None:
+            policy.seen += 1
+            if policy.seen > policy.drop_after:
+                self.dropped.append(message)
+                return False
+        if policy.drop_probability and self._rng.random() < policy.drop_probability:
+            self.dropped.append(message)
+            return False
+        if policy.duplicate:
+            self._inject(message, extra_delay=policy.extra_delay)
+        if policy.extra_delay:
+            self._inject(message, extra_delay=policy.extra_delay)
+            return False
+        return True
+
+    def _inject(self, message: Message, extra_delay: float) -> None:
+        if isinstance(self.network, Network):
+            base = self.network.one_way_delay(
+                message.sender, message.destination, message.size
+            )
+            self.network.deliver_after(base + extra_delay, message)
+        elif isinstance(self.network, InstantNetwork):
+            self.network.inject(message)

@@ -1,0 +1,174 @@
+"""Message transport between named endpoints.
+
+Two implementations share one interface:
+
+* :class:`Network` — scheduler-driven; delivery takes one-way latency
+  (RTT/2) plus a serialisation delay from link bandwidth.  Benchmarks run
+  on this.
+* :class:`InstantNetwork` — synchronous FIFO delivery with zero latency.
+  Unit tests of protocol logic run on this; the FIFO drain (rather than
+  recursive delivery) keeps deep multi-hop cascades iterative.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.simulation.scheduler import Scheduler
+
+Handler = Callable[["Message"], None]
+LatencyFn = Callable[[str, str], float]
+BandwidthFn = Callable[[str, str], Optional[float]]
+
+DEFAULT_MESSAGE_SIZE = 512  # bytes; typical signed protocol message
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message."""
+
+    sender: str
+    destination: str
+    payload: Any
+    size: int = DEFAULT_MESSAGE_SIZE
+
+
+class BaseNetwork:
+    """Endpoint registry shared by both transports."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Handler] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self._taps: List[Callable[[Message], Optional[bool]]] = []
+
+    def register(self, name: str, handler: Handler) -> None:
+        if name in self._handlers:
+            raise NetworkError(f"endpoint {name!r} already registered")
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._handlers
+
+    def add_tap(self, tap: Callable[[Message], Optional[bool]]) -> None:
+        """Install a wire tap (adversary hook).
+
+        Taps see every message before delivery; returning ``False``
+        suppresses normal delivery (the tap has taken over the message).
+        """
+        self._taps.append(tap)
+
+    def _handler_for(self, destination: str) -> Handler:
+        handler = self._handlers.get(destination)
+        if handler is None:
+            raise NetworkError(f"no endpoint {destination!r}")
+        return handler
+
+    def _tap_allows(self, message: Message) -> bool:
+        for tap in self._taps:
+            if tap(message) is False:
+                return False
+        return True
+
+
+class Network(BaseNetwork):
+    """Latency/bandwidth-modelled transport over the simulated clock."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency: LatencyFn,
+        bandwidth: Optional[BandwidthFn] = None,
+    ) -> None:
+        super().__init__()
+        self.scheduler = scheduler
+        self._latency = latency
+        self._bandwidth = bandwidth
+
+    def one_way_delay(self, sender: str, destination: str, size: int) -> float:
+        """Propagation (RTT/2) plus serialisation (size/bandwidth)."""
+        delay = self._latency(sender, destination) / 2.0
+        if self._bandwidth is not None:
+            bits_per_second = self._bandwidth(sender, destination)
+            if bits_per_second:
+                delay += (size * 8) / bits_per_second
+        return delay
+
+    def rtt(self, a: str, b: str) -> float:
+        return self._latency(a, b)
+
+    def send(self, sender: str, destination: str, payload: Any,
+             size: int = DEFAULT_MESSAGE_SIZE) -> None:
+        """Deliver ``payload`` after the modelled delay.
+
+        The destination handler is resolved at delivery time, so a crash
+        (unregister) between send and delivery silently drops the message —
+        exactly what a dead host does.
+        """
+        message = Message(sender, destination, payload, size)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if not self._tap_allows(message):
+            return
+        delay = self.one_way_delay(sender, destination, size)
+        self.deliver_after(delay, message)
+
+    def deliver_after(self, delay: float, message: Message) -> None:
+        """Schedule raw delivery (used by adversaries re-injecting
+        messages)."""
+
+        def deliver() -> None:
+            handler = self._handlers.get(message.destination)
+            if handler is not None:
+                handler(message)
+
+        self.scheduler.call_after(delay, deliver)
+
+
+class InstantNetwork(BaseNetwork):
+    """Zero-latency synchronous transport for protocol unit tests.
+
+    Messages go through a FIFO: a handler that sends during delivery does
+    not recurse, it appends — giving deterministic, stack-safe cascades.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: Deque[Message] = deque()
+        self._draining = False
+        self.delivered: List[Message] = []
+
+    def send(self, sender: str, destination: str, payload: Any,
+             size: int = DEFAULT_MESSAGE_SIZE) -> None:
+        message = Message(sender, destination, payload, size)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if not self._tap_allows(message):
+            return
+        self._queue.append(message)
+        self._drain()
+
+    def inject(self, message: Message) -> None:
+        """Deliver a crafted/replayed message (adversary use)."""
+        self._queue.append(message)
+        self._drain()
+
+    def _drain(self) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._queue:
+                message = self._queue.popleft()
+                handler = self._handlers.get(message.destination)
+                if handler is not None:
+                    self.delivered.append(message)
+                    handler(message)
+        finally:
+            self._draining = False

@@ -1,0 +1,20 @@
+"""Deterministic discrete-event simulation (DES) engine.
+
+All timed behaviour in the reproduction — network latency, monotonic-counter
+throttling, blockchain confirmation delays, replication round-trips — runs on
+this engine so that every benchmark is deterministic and independent of host
+wall-clock speed.
+
+Public API:
+
+* :class:`~repro.simulation.clock.Clock` — monotonically advancing simulated
+  time in seconds.
+* :class:`~repro.simulation.scheduler.Scheduler` — event queue; schedule
+  callbacks at absolute or relative simulated times and run until drained.
+* :class:`~repro.simulation.scheduler.Event` — a cancellable scheduled entry.
+"""
+
+from repro.simulation.clock import Clock
+from repro.simulation.scheduler import Event, Scheduler
+
+__all__ = ["Clock", "Event", "Scheduler"]

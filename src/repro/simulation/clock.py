@@ -1,0 +1,41 @@
+"""Simulated clock.
+
+The clock is advanced only by the :class:`~repro.simulation.scheduler.Scheduler`;
+components read it to timestamp messages, enforce counter throttles, and
+measure latencies.  Keeping it a separate object (rather than a global) lets
+tests run many independent simulations in one process.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Monotonically advancing simulated time, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises :class:`SimulationError` on any attempt to move backwards;
+        a scheduler bug would otherwise silently corrupt every latency
+        measurement downstream.
+        """
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.6f})"

@@ -1,0 +1,39 @@
+"""Trusted-execution-environment simulation.
+
+The paper runs Teechain inside Intel SGX enclaves.  Real SGX is a hardware
+gate this reproduction cannot cross, so this package provides a software
+enclave runtime preserving the properties the protocols rely on — and,
+crucially, the *failure modes* the paper defends against:
+
+* :mod:`~repro.tee.enclave` — isolated programs with a measured identity,
+  ecall dispatch, and in-enclave key generation.
+* :mod:`~repro.tee.attestation` — quotes binding (measurement, enclave key)
+  signed by a simulated attestation service (models EPID attestation).
+* :mod:`~repro.tee.monotonic` — hardware monotonic counters throttled to
+  the paper's emulated 100 ms per increment (§6.2 / §7 implementation note).
+* :mod:`~repro.tee.sealing` — sealed storage bound to counter values for
+  rollback protection.
+* :mod:`~repro.tee.compromise` — the Byzantine failure model: crash an
+  enclave, extract its secrets (Foreshadow-style), or fork its state.
+"""
+
+from repro.tee.attestation import AttestationService, Quote
+from repro.tee.compromise import crash_enclave, extract_secrets, fork_enclave
+from repro.tee.enclave import Enclave, EnclaveProgram, EnclaveStatus
+from repro.tee.monotonic import MonotonicCounter, MonotonicCounterBank
+from repro.tee.sealing import SealedBlob, SealingService
+
+__all__ = [
+    "AttestationService",
+    "Enclave",
+    "EnclaveProgram",
+    "EnclaveStatus",
+    "MonotonicCounter",
+    "MonotonicCounterBank",
+    "Quote",
+    "SealedBlob",
+    "SealingService",
+    "crash_enclave",
+    "extract_secrets",
+    "fork_enclave",
+]

@@ -1,0 +1,81 @@
+"""The Byzantine TEE failure model.
+
+The paper assumes TEEs can be compromised (§2.3, citing Foreshadow) and
+defends with committee chains.  These helpers *are* the attacks; security
+tests use them to check that the defences hold:
+
+* :func:`crash_enclave` — fail-stop (power loss, process kill).
+* :func:`extract_secrets` — a side-channel/transient-execution compromise:
+  the attacker learns everything in enclave memory, including identity and
+  deposit private keys, but the enclave keeps running (the victim may not
+  even know).
+* :func:`fork_enclave` — a state-forking attack: the attacker duplicates a
+  (compromised) enclave's state and runs both copies, attempting to settle
+  a channel twice from divergent histories.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.crypto.keys import PrivateKey
+from repro.tee.enclave import Enclave, EnclaveStatus
+
+
+@dataclass
+class ExtractedSecrets:
+    """Everything an attacker learns from a full memory compromise."""
+
+    identity_private_key: PrivateKey
+    program_state: Dict[str, Any]
+
+
+def crash_enclave(enclave: Enclave) -> None:
+    """Fail-stop the enclave.  All subsequent ecalls raise
+    :class:`~repro.errors.EnclaveCrashed`."""
+    enclave.status = EnclaveStatus.CRASHED
+
+
+def extract_secrets(enclave: Enclave) -> ExtractedSecrets:
+    """Compromise the enclave and exfiltrate its memory.
+
+    Marks the enclave COMPROMISED (for bookkeeping and assertions) but —
+    deliberately — leaves it operational: real side-channel attacks are
+    silent, and Teechain's threat model must cope with victims that keep
+    transacting on a leaky TEE.
+    """
+    enclave.status = EnclaveStatus.COMPROMISED
+    state = {
+        key: value
+        for key, value in vars(enclave.program).items()
+        if not key.startswith("_enclave")
+    }
+    return ExtractedSecrets(
+        identity_private_key=enclave.identity.private,
+        program_state=state,
+    )
+
+
+def fork_enclave(enclave: Enclave, fork_name: str) -> Enclave:
+    """Duplicate a compromised enclave: same keys, same program state.
+
+    The fork is a *perfect clone* including the identity private key —
+    modelling an attacker who replays a memory snapshot inside their own
+    (emulated) enclave.  Teechain's defence is protocol-level: secure
+    channels bind messages to a single key-exchange session, and committee
+    chains refuse divergent update streams; tests drive this function to
+    verify both.
+    """
+    extract_secrets(enclave)  # forking requires (and implies) compromise
+    forked_program = copy.deepcopy(enclave.program)
+    fork = Enclave.__new__(Enclave)
+    Enclave._id_counter += 1
+    fork.enclave_id = Enclave._id_counter
+    fork.name = fork_name
+    fork.program = forked_program
+    fork.status = EnclaveStatus.COMPROMISED
+    fork.identity = enclave.identity  # stolen keys
+    forked_program._enclave = fork
+    return fork

@@ -1,0 +1,75 @@
+"""Sealed storage with rollback protection.
+
+SGX sealing encrypts enclave state under a key derived from the CPU and the
+enclave measurement, so only the same program on the same platform can
+unseal it.  Sealing alone permits *rollback*: an attacker can feed the
+enclave an old sealed blob.  Binding each blob to a monotonic-counter value
+(and refusing blobs whose counter does not match the hardware counter)
+closes that hole — the construction Teechain's stable-storage mode uses
+(§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+import hashlib
+import hmac
+import pickle
+
+from repro.crypto.hashing import sha256
+from repro.errors import SealingError
+from repro.tee.monotonic import MonotonicCounter
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """Opaque sealed state: payload + counter binding + MAC."""
+
+    payload: bytes
+    counter_value: int
+    mac: bytes
+
+
+class SealingService:
+    """Per-platform, per-measurement sealing keys.
+
+    The sealing key mixes a platform secret with the enclave measurement —
+    blobs sealed by one program cannot be unsealed by another, and blobs do
+    not migrate between platforms.
+    """
+
+    def __init__(self, platform_secret: bytes, measurement: bytes) -> None:
+        self._key = sha256(b"seal:" + platform_secret + measurement)
+
+    def _mac(self, payload: bytes, counter_value: int) -> bytes:
+        message = payload + counter_value.to_bytes(8, "big")
+        return hmac.new(self._key, message, hashlib.sha256).digest()
+
+    def seal(self, state: Any, counter_value: int) -> SealedBlob:
+        """Seal ``state`` (any picklable object) bound to a counter value.
+
+        Pickle is safe here because blobs are only ever unsealed after MAC
+        verification under an enclave-held key — an attacker cannot craft a
+        blob that passes the MAC.
+        """
+        payload = pickle.dumps(state)
+        return SealedBlob(payload, counter_value, self._mac(payload, counter_value))
+
+    def unseal(self, blob: SealedBlob,
+               counter: Optional[MonotonicCounter] = None) -> Any:
+        """Verify and open a sealed blob.
+
+        If ``counter`` is given, the blob's bound value must equal the
+        hardware counter's current value — a stale (rolled-back) blob fails
+        here even though its MAC is genuine.
+        """
+        expected = self._mac(blob.payload, blob.counter_value)
+        if not hmac.compare_digest(blob.mac, expected):
+            raise SealingError("sealed blob failed integrity check")
+        if counter is not None and blob.counter_value != counter.value:
+            raise SealingError(
+                f"rollback detected: blob bound to counter value "
+                f"{blob.counter_value}, hardware counter is {counter.value}"
+            )
+        return pickle.loads(blob.payload)

@@ -1,0 +1,45 @@
+"""Shared fixtures: funded nodes, channels, and multi-hop paths."""
+
+import pytest
+
+from repro.core.node import TeechainNetwork
+
+
+@pytest.fixture
+def network():
+    return TeechainNetwork()
+
+
+@pytest.fixture
+def funded_pair(network):
+    """Alice and Bob, each with 100k on-chain."""
+    alice = network.create_node("alice", funds=100_000)
+    bob = network.create_node("bob", funds=100_000)
+    return network, alice, bob
+
+
+@pytest.fixture
+def open_channel(funded_pair):
+    """An open channel with a 50k deposit from alice and 30k from bob."""
+    network, alice, bob = funded_pair
+    channel = alice.open_channel(bob)
+    deposit_a = alice.create_deposit(50_000)
+    alice.approve_and_associate(bob, deposit_a, channel)
+    deposit_b = bob.create_deposit(30_000)
+    bob.approve_and_associate(alice, deposit_b, channel)
+    return network, alice, bob, channel
+
+
+@pytest.fixture
+def three_hop_path(network):
+    """alice → bob → carol with 40k deposits on both channels."""
+    alice = network.create_node("alice", funds=100_000)
+    bob = network.create_node("bob", funds=100_000)
+    carol = network.create_node("carol", funds=100_000)
+    ab = alice.open_channel(bob)
+    bc = bob.open_channel(carol)
+    deposit_ab = alice.create_deposit(40_000)
+    alice.approve_and_associate(bob, deposit_ab, ab)
+    deposit_bc = bob.create_deposit(40_000)
+    bob.approve_and_associate(carol, deposit_bc, bc)
+    return network, alice, bob, carol, ab, bc

@@ -1,0 +1,120 @@
+"""Asynchronous blockchain access: write delays, censorship, eclipse."""
+
+import pytest
+
+from repro.blockchain import (
+    AsyncBlockchainClient,
+    Blockchain,
+    LockingScript,
+    WriteAdversary,
+    build_p2pkh_transfer,
+)
+from repro.crypto import KeyPair
+from repro.errors import BlockchainError
+from repro.simulation import Scheduler
+
+ALICE = KeyPair.from_seed(b"async-alice")
+BOB = KeyPair.from_seed(b"async-bob")
+
+
+@pytest.fixture
+def setup():
+    scheduler = Scheduler()
+    chain = Blockchain()
+    coinbase = chain.mint(LockingScript.pay_to_address(ALICE.address()),
+                          100_000)
+    chain.mine_block()
+    adversary = WriteAdversary(base_delay=1.0)
+    client = AsyncBlockchainClient(chain, scheduler, adversary)
+    tx = build_p2pkh_transfer([(coinbase.outpoint(0), 100_000)],
+                              ALICE.private, [(BOB.address(), 100_000)])
+    return scheduler, chain, adversary, client, tx
+
+
+def test_broadcast_arrives_after_base_delay(setup):
+    scheduler, chain, _, client, tx = setup
+    receipt = client.broadcast(tx)
+    assert chain.mempool_size() == 0
+    scheduler.run()
+    assert receipt.delivered
+    assert receipt.delivered_at == 1.0
+    assert chain.mempool_size() == 1
+
+
+def test_adversarial_extra_delay(setup):
+    scheduler, chain, adversary, client, tx = setup
+    adversary.delay(tx.txid, extra=3_599.0)
+    receipt = client.broadcast(tx)
+    scheduler.run(until=3_000.0)
+    assert not receipt.delivered
+    scheduler.run()
+    assert receipt.delivered
+    assert receipt.delivered_at == 3_600.0
+
+
+def test_censorship_never_delivers(setup):
+    scheduler, chain, adversary, client, tx = setup
+    adversary.censor(tx.txid)
+    receipt = client.broadcast(tx)
+    scheduler.run()
+    assert not receipt.delivered
+    assert chain.mempool_size() == 0
+
+
+def test_eclipse_blocks_everything_until_lifted(setup):
+    scheduler, chain, adversary, client, tx = setup
+    adversary.eclipse()
+    client.broadcast(tx)
+    scheduler.run()
+    assert chain.mempool_size() == 0
+    adversary.lift_eclipse()
+    receipt = client.broadcast(tx)
+    scheduler.run()
+    assert receipt.delivered
+
+
+def test_invalid_transaction_surfaces_on_receipt(setup):
+    scheduler, chain, _, client, tx = setup
+    receipt = client.broadcast(tx)
+    # A conflicting spend delivered first wins; ours gets rejected.
+    conflict = build_p2pkh_transfer([(tx.inputs[0].outpoint, 100_000)],
+                                    ALICE.private, [(ALICE.address(), 1)])
+    chain.submit(conflict)
+    scheduler.run()
+    assert receipt.rejected is not None
+    assert not receipt.delivered
+
+
+def test_reads_blocked_when_eclipsed(setup):
+    _, _, _, client, tx = setup
+    client.reads_blocked = True
+    with pytest.raises(BlockchainError):
+        client.balance(ALICE.address())
+    with pytest.raises(BlockchainError):
+        client.confirmations(tx.txid)
+
+
+def test_wait_for_confirmations(setup):
+    scheduler, chain, _, client, tx = setup
+    fired = []
+    client.broadcast(tx)
+    client.wait_for_confirmations(tx.txid, depth=2, callback=lambda:
+                                  fired.append(scheduler.now))
+    scheduler.run(until=5.0)
+    assert not fired
+    chain.mine_block()
+    chain.mine_block()
+    scheduler.run(until=30.0)
+    assert fired
+
+
+def test_wait_never_fires_for_censored_tx(setup):
+    scheduler, chain, adversary, client, tx = setup
+    adversary.censor(tx.txid)
+    fired = []
+    client.broadcast(tx)
+    client.wait_for_confirmations(tx.txid, depth=1,
+                                  callback=lambda: fired.append(1))
+    chain.mine_block()
+    scheduler.run(until=1_000.0)
+    assert not fired

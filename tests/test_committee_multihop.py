@@ -1,0 +1,114 @@
+"""Integration: committee-secured (m-of-n) deposits inside multi-hop
+payments — the combination of §5 and §6.
+
+The subtlety under test: committee members only co-sign transactions in
+their replicated valid set, so the multi-hop candidates (pre/post
+settlements and τ) must be replicated to the committee *before* the
+signing rounds.  These tests fail loudly if that ordering regresses.
+"""
+
+import pytest
+
+from repro.core.state import MultihopStage
+from repro.errors import ThresholdError
+from repro.network import NetworkAdversary
+from repro.tee import crash_enclave
+
+
+@pytest.fixture
+def committee_path(network):
+    alice = network.create_node("alice", funds=100_000)
+    bob = network.create_node("bob", funds=100_000)
+    carol = network.create_node("carol", funds=100_000)
+    alice.attach_committee(backups=2, threshold=2)
+    ab = alice.open_channel(bob)
+    bc = bob.open_channel(carol)
+    deposit_ab = alice.create_deposit(40_000)
+    alice.approve_and_associate(bob, deposit_ab, ab)
+    deposit_bc = bob.create_deposit(40_000)
+    bob.approve_and_associate(carol, deposit_bc, bc)
+    return network, alice, bob, carol, ab, bc
+
+
+class TestCommitteeMultihop:
+    def test_happy_path(self, committee_path):
+        network, alice, bob, carol, ab, bc = committee_path
+        payment = alice.pay_multihop([alice, bob, carol], 5_000)
+        assert alice.multihop_completed(payment)
+        assert carol.channel_balance(bc) == (5_000, 35_000)
+        for node in (alice, bob, carol):
+            node.assert_balance_correct()
+
+    def test_candidates_announced_before_signing(self, committee_path):
+        network, alice, bob, carol, ab, bc = committee_path
+        adversary = NetworkAdversary(network.transport)
+        adversary.drop_after("alice", "bob", 1)
+        payment = alice.pay_multihop([alice, bob, carol], 5_000)
+        # Alice holds the fully signed τ — the committee co-signed it,
+        # which requires its txid in the replicated valid set.
+        session = alice.program.multihop_sessions[payment]
+        member = alice.replication.members[0]
+        assert session.tau.txid in member.program.state["valid_txids"]
+
+    def test_tau_eject_with_committee_deposit(self, committee_path):
+        network, alice, bob, carol, ab, bc = committee_path
+        adversary = NetworkAdversary(network.transport)
+        adversary.drop_after("alice", "bob", 1)
+        payment = alice.pay_multihop([alice, bob, carol], 5_000)
+        transactions = alice.eject(payment)
+        network.mine()
+        assert network.chain.contains(transactions[0].txid)
+        bob.eject(payment)
+        carol.eject(payment)
+        network.mine()
+        for node in (alice, bob, carol):
+            node.assert_balance_correct()
+        assert network.chain.balance(carol.address) == 105_000
+
+    def test_pre_payment_eject_with_committee_deposit(self, committee_path):
+        network, alice, bob, carol, ab, bc = committee_path
+        adversary = NetworkAdversary(network.transport)
+        adversary.partition("bob", "carol")
+        payment = alice.pay_multihop([alice, bob, carol], 5_000)
+        transactions = bob.eject(payment)
+        network.mine()
+        alice.eject(payment)
+        network.mine()
+        for node in (alice, bob, carol):
+            node.assert_balance_correct()
+        assert network.chain.balance(carol.address) == 100_000
+
+    def test_counterparty_reclaim_after_owner_settled(self, committee_path):
+        """After alice settles on-chain, bob's reclaim recognises the
+        already-spent deposits instead of demanding a re-signature."""
+        network, alice, bob, carol, ab, bc = committee_path
+        payment = alice.pay_multihop([alice, bob, carol], 5_000)
+        assert alice.multihop_completed(payment)
+        alice.assert_balance_correct()  # settles ab on-chain
+        bob.assert_balance_correct()    # must not raise
+
+    def test_committee_crash_during_multihop_keeps_funds_safe(
+            self, committee_path):
+        network, alice, bob, carol, ab, bc = committee_path
+        adversary = NetworkAdversary(network.transport)
+        adversary.drop_after("alice", "bob", 1)
+        payment = alice.pay_multihop([alice, bob, carol], 5_000)
+        # One committee member dies mid-flight; 2-of-3 quorum remains and
+        # the already-signed τ is still broadcastable.
+        crash_enclave(alice.replication.members[0])
+        # The first eject detects the dead backup, freezes the chain, and
+        # rolls back; on the frozen chain the retry succeeds (eject is a
+        # settlement operation, allowed while frozen).
+        from repro.errors import ReplicationError
+        try:
+            transactions = alice.eject(payment)
+        except ReplicationError:
+            assert alice.replication.frozen
+            transactions = alice.eject(payment)
+        network.mine()
+        assert network.chain.contains(transactions[0].txid)
+        bob.eject(payment)
+        carol.eject(payment)
+        network.mine()
+        for node in (bob, carol):
+            node.assert_balance_correct()

@@ -1,0 +1,132 @@
+"""secp256k1 ECDSA: curve arithmetic, RFC 6979 determinism, low-s,
+verification edge cases, and cross-key rejection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import ecdsa
+from repro.crypto.ecdsa import Signature
+from repro.crypto.hashing import sha256
+from repro.errors import InvalidKey, InvalidSignature
+
+KEY = 0x1E99423A4ED27608A15A2616A2B0E9E52CED330AC530EDCC32C8FFC6A526AEDD
+DIGEST = sha256(b"teechain")
+
+
+class TestCurve:
+    def test_generator_on_curve(self):
+        assert ecdsa.is_on_curve((ecdsa.GX, ecdsa.GY))
+
+    def test_infinity_on_curve(self):
+        assert ecdsa.is_on_curve(None)
+
+    def test_off_curve_point_detected(self):
+        assert not ecdsa.is_on_curve((ecdsa.GX, ecdsa.GY + 1))
+
+    def test_generator_order(self):
+        assert ecdsa.point_multiply(ecdsa.N) is None
+
+    def test_point_addition_commutes(self):
+        p = ecdsa.point_multiply(7)
+        q = ecdsa.point_multiply(11)
+        assert ecdsa.point_add(p, q) == ecdsa.point_add(q, p)
+
+    def test_addition_matches_multiplication(self):
+        assert ecdsa.point_add(
+            ecdsa.point_multiply(7), ecdsa.point_multiply(11)
+        ) == ecdsa.point_multiply(18)
+
+    def test_adding_inverse_gives_infinity(self):
+        p = ecdsa.point_multiply(5)
+        negated = (p[0], ecdsa.P - p[1])
+        assert ecdsa.point_add(p, negated) is None
+
+    def test_infinity_is_identity(self):
+        p = ecdsa.point_multiply(9)
+        assert ecdsa.point_add(p, None) == p
+        assert ecdsa.point_add(None, p) == p
+
+    def test_known_vector(self):
+        # 2·G from the canonical secp256k1 test vectors.
+        point = ecdsa.point_multiply(2)
+        assert point[0] == int(
+            "C6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5",
+            16,
+        )
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        public = ecdsa.derive_public_key(KEY)
+        signature = ecdsa.sign(KEY, DIGEST)
+        assert ecdsa.verify(public, DIGEST, signature)
+
+    def test_deterministic_rfc6979(self):
+        assert ecdsa.sign(KEY, DIGEST) == ecdsa.sign(KEY, DIGEST)
+
+    def test_different_digests_different_signatures(self):
+        assert ecdsa.sign(KEY, DIGEST) != ecdsa.sign(KEY, sha256(b"other"))
+
+    def test_low_s(self):
+        signature = ecdsa.sign(KEY, DIGEST)
+        assert signature.s <= ecdsa.N // 2
+
+    def test_wrong_key_rejected(self):
+        signature = ecdsa.sign(KEY, DIGEST)
+        other = ecdsa.derive_public_key(KEY + 1)
+        assert not ecdsa.verify(other, DIGEST, signature)
+
+    def test_wrong_digest_rejected(self):
+        public = ecdsa.derive_public_key(KEY)
+        signature = ecdsa.sign(KEY, DIGEST)
+        assert not ecdsa.verify(public, sha256(b"tampered"), signature)
+
+    def test_zero_r_rejected(self):
+        public = ecdsa.derive_public_key(KEY)
+        assert not ecdsa.verify(public, DIGEST, Signature(0, 1))
+
+    def test_out_of_range_s_rejected(self):
+        public = ecdsa.derive_public_key(KEY)
+        assert not ecdsa.verify(public, DIGEST, Signature(1, ecdsa.N))
+
+    def test_bad_private_key_rejected(self):
+        with pytest.raises(InvalidKey):
+            ecdsa.sign(0, DIGEST)
+        with pytest.raises(InvalidKey):
+            ecdsa.sign(ecdsa.N, DIGEST)
+
+    def test_bad_digest_length_rejected(self):
+        with pytest.raises(InvalidSignature):
+            ecdsa.sign(KEY, b"short")
+
+    def test_off_curve_public_key_rejected(self):
+        with pytest.raises(InvalidKey):
+            ecdsa.verify((1, 1), DIGEST, ecdsa.sign(KEY, DIGEST))
+
+    def test_signature_serialisation_roundtrip(self):
+        signature = ecdsa.sign(KEY, DIGEST)
+        assert Signature.from_bytes(signature.to_bytes()) == signature
+
+    def test_signature_bad_length(self):
+        with pytest.raises(InvalidSignature):
+            Signature.from_bytes(b"\x00" * 63)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=ecdsa.N - 1),
+       st.binary(min_size=1, max_size=64))
+def test_property_sign_verify_roundtrip(private_key, message):
+    digest = sha256(message)
+    signature = ecdsa.sign(private_key, digest)
+    public = ecdsa.derive_public_key(private_key)
+    assert ecdsa.verify(public, digest, signature)
+    assert signature.s <= ecdsa.N // 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=ecdsa.N - 2))
+def test_property_scalar_homomorphism(k):
+    # (k·G) + G == (k+1)·G
+    assert ecdsa.point_add(
+        ecdsa.point_multiply(k), (ecdsa.GX, ecdsa.GY)
+    ) == ecdsa.point_multiply(k + 1)

@@ -1,0 +1,294 @@
+"""Hashing, key handling, authenticated encryption, Shamir sharing and
+multisig — the non-ECDSA crypto substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import (
+    KeyPair,
+    MultisigSpec,
+    combine_shares,
+    decrypt,
+    derive_channel_keys,
+    ecdh_shared_secret,
+    encrypt,
+    hash160,
+    merkle_root,
+    sha256,
+    sha256d,
+    split_secret,
+)
+from repro.crypto.authenticated import nonce_from_counter
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.multisig import collect_signatures, share_indices_for_keys
+from repro.crypto.shamir import Share, reshare
+from repro.errors import DecryptionError, InvalidKey, ThresholdError
+
+
+class TestHashing:
+    def test_sha256_known_vector(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_sha256d_is_double(self):
+        assert sha256d(b"x") == sha256(sha256(b"x"))
+
+    def test_hash160_length(self):
+        assert len(hash160(b"payload")) == 20
+
+    def test_merkle_empty(self):
+        assert merkle_root([]) == b"\x00" * 32
+
+    def test_merkle_single_leaf_is_leaf(self):
+        leaf = sha256(b"leaf")
+        assert merkle_root([leaf]) == leaf
+
+    def test_merkle_odd_duplicates_last(self):
+        a, b, c = sha256(b"a"), sha256(b"b"), sha256(b"c")
+        assert merkle_root([a, b, c]) == merkle_root([a, b, c, c])
+
+    def test_merkle_order_sensitive(self):
+        a, b = sha256(b"a"), sha256(b"b")
+        assert merkle_root([a, b]) != merkle_root([b, a])
+
+
+class TestKeys:
+    def test_seeded_keys_deterministic(self):
+        assert KeyPair.from_seed(b"s").public == KeyPair.from_seed(b"s").public
+
+    def test_generated_keys_distinct(self):
+        assert KeyPair.generate().public != KeyPair.generate().public
+
+    def test_public_key_roundtrip(self):
+        public = KeyPair.from_seed(b"k").public
+        assert PublicKey.from_bytes(public.to_bytes()) == public
+
+    def test_private_key_roundtrip(self):
+        private = KeyPair.from_seed(b"k").private
+        assert PrivateKey.from_bytes(private.to_bytes()).secret == private.secret
+
+    def test_address_prefix_and_stability(self):
+        keys = KeyPair.from_seed(b"addr")
+        assert keys.address().startswith("btc")
+        assert keys.address() == keys.public.address()
+
+    def test_sign_message_verifies(self):
+        keys = KeyPair.from_seed(b"m")
+        signature = keys.private.sign_message(b"hello")
+        assert keys.public.verify_message(b"hello", signature)
+        assert not keys.public.verify_message(b"tampered", signature)
+
+    def test_bad_compressed_key_rejected(self):
+        with pytest.raises(InvalidKey):
+            PublicKey.from_bytes(b"\x05" + b"\x00" * 32)
+
+    def test_private_repr_hides_secret(self):
+        private = KeyPair.from_seed(b"secret").private
+        assert hex(private.secret)[2:] not in repr(private)
+
+
+class TestAuthenticatedEncryption:
+    def _keys(self):
+        a = KeyPair.from_seed(b"chan-a")
+        b = KeyPair.from_seed(b"chan-b")
+        return derive_channel_keys(a.private, b.public), a, b
+
+    def test_both_sides_derive_same_keys(self):
+        a = KeyPair.from_seed(b"chan-a")
+        b = KeyPair.from_seed(b"chan-b")
+        assert derive_channel_keys(a.private, b.public) == derive_channel_keys(
+            b.private, a.public
+        )
+
+    def test_ecdh_symmetry(self):
+        a = KeyPair.from_seed(b"e1")
+        b = KeyPair.from_seed(b"e2")
+        assert ecdh_shared_secret(a.private, b.public) == ecdh_shared_secret(
+            b.private, a.public
+        )
+
+    def test_roundtrip(self):
+        keys, _, _ = self._keys()
+        envelope = encrypt(keys, nonce_from_counter(1), b"payload")
+        assert decrypt(keys, envelope) == b"payload"
+
+    def test_tampered_ciphertext_rejected(self):
+        keys, _, _ = self._keys()
+        envelope = bytearray(encrypt(keys, nonce_from_counter(1), b"payload"))
+        envelope[14] ^= 0x01
+        with pytest.raises(DecryptionError):
+            decrypt(keys, bytes(envelope))
+
+    def test_tampered_tag_rejected(self):
+        keys, _, _ = self._keys()
+        envelope = bytearray(encrypt(keys, nonce_from_counter(1), b"payload"))
+        envelope[-1] ^= 0x01
+        with pytest.raises(DecryptionError):
+            decrypt(keys, bytes(envelope))
+
+    def test_wrong_channel_keys_rejected(self):
+        keys, _, _ = self._keys()
+        other = derive_channel_keys(KeyPair.from_seed(b"x").private,
+                                    KeyPair.from_seed(b"y").public)
+        envelope = encrypt(keys, nonce_from_counter(1), b"payload")
+        with pytest.raises(DecryptionError):
+            decrypt(other, envelope)
+
+    def test_short_envelope_rejected(self):
+        keys, _, _ = self._keys()
+        with pytest.raises(DecryptionError):
+            decrypt(keys, b"tiny")
+
+    def test_bad_nonce_length_rejected(self):
+        keys, _, _ = self._keys()
+        with pytest.raises(DecryptionError):
+            encrypt(keys, b"short", b"payload")
+
+    def test_empty_plaintext(self):
+        keys, _, _ = self._keys()
+        assert decrypt(keys, encrypt(keys, nonce_from_counter(2), b"")) == b""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=512), st.integers(min_value=1, max_value=2**40))
+    def test_property_roundtrip(self, plaintext, counter):
+        keys = derive_channel_keys(KeyPair.from_seed(b"p1").private,
+                                   KeyPair.from_seed(b"p2").public)
+        envelope = encrypt(keys, nonce_from_counter(counter), plaintext)
+        assert decrypt(keys, envelope) == plaintext
+
+
+class TestShamir:
+    def test_roundtrip(self):
+        shares = split_secret(424242, threshold=3, total=5)
+        assert combine_shares(shares[:3], 3) == 424242
+
+    def test_any_subset_works(self):
+        shares = split_secret(99, threshold=2, total=4)
+        assert combine_shares([shares[1], shares[3]], 2) == 99
+
+    def test_too_few_shares_fail(self):
+        shares = split_secret(99, threshold=3, total=5)
+        with pytest.raises(ThresholdError):
+            combine_shares(shares[:2], 3)
+
+    def test_duplicate_index_not_counted(self):
+        shares = split_secret(99, threshold=2, total=3)
+        with pytest.raises(ThresholdError):
+            combine_shares([shares[0], shares[0]], 2)
+
+    def test_conflicting_duplicates_rejected(self):
+        shares = split_secret(99, threshold=2, total=3)
+        forged = Share(shares[0].index, (shares[0].value + 1))
+        with pytest.raises(ThresholdError):
+            combine_shares([shares[0], forged], 2)
+
+    def test_one_of_n_degenerates_to_replication(self):
+        shares = split_secret(7, threshold=1, total=3)
+        for share in shares:
+            assert combine_shares([share], 1) == 7
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ThresholdError):
+            split_secret(1, threshold=0, total=3)
+        with pytest.raises(ThresholdError):
+            split_secret(1, threshold=4, total=3)
+
+    def test_reshare(self):
+        shares = split_secret(1234, threshold=2, total=3)
+        new_shares = reshare(shares[:2], threshold=2, new_total=5)
+        assert len(new_shares) == 5
+        assert combine_shares(new_shares[3:], 2) == 1234
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**128),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=3))
+    def test_property_threshold_roundtrip(self, secret, threshold, extra):
+        total = threshold + extra
+        shares = split_secret(secret, threshold, total)
+        assert combine_shares(shares[extra:], threshold) == secret
+
+
+class TestMultisig:
+    def _spec(self, m, n):
+        keys = [KeyPair.from_seed(f"ms{i}".encode()) for i in range(n)]
+        return MultisigSpec(m, tuple(k.public for k in keys)), keys
+
+    def test_threshold_met(self):
+        spec, keys = self._spec(2, 3)
+        digest = sha256(b"spend")
+        signatures = [keys[0].private.sign(digest), keys[2].private.sign(digest)]
+        assert spec.verify(digest, signatures)
+
+    def test_threshold_not_met(self):
+        spec, keys = self._spec(2, 3)
+        digest = sha256(b"spend")
+        assert not spec.verify(digest, [keys[0].private.sign(digest)])
+
+    def test_same_key_twice_not_counted(self):
+        spec, keys = self._spec(2, 3)
+        digest = sha256(b"spend")
+        signature = keys[0].private.sign(digest)
+        assert not spec.verify(digest, [signature, signature])
+
+    def test_foreign_signature_ignored(self):
+        spec, keys = self._spec(2, 3)
+        digest = sha256(b"spend")
+        outsider = KeyPair.from_seed(b"outsider")
+        assert not spec.verify(digest, [
+            keys[0].private.sign(digest), outsider.private.sign(digest)
+        ])
+
+    def test_order_insensitive(self):
+        spec, keys = self._spec(2, 3)
+        digest = sha256(b"spend")
+        signatures = [keys[2].private.sign(digest), keys[0].private.sign(digest)]
+        assert spec.verify(digest, signatures)
+
+    def test_invalid_spec_rejected(self):
+        keys = [KeyPair.from_seed(b"a").public]
+        with pytest.raises(ThresholdError):
+            MultisigSpec(2, tuple(keys))
+
+    def test_duplicate_keys_rejected(self):
+        key = KeyPair.from_seed(b"dup").public
+        with pytest.raises(ThresholdError):
+            MultisigSpec(1, (key, key))
+
+    def test_address_deterministic_and_prefixed(self):
+        spec, _ = self._spec(2, 3)
+        assert spec.address().startswith("msig")
+        spec2, _ = self._spec(2, 3)
+        assert spec.address() == spec2.address()
+
+    def test_collect_signatures_success(self):
+        spec, keys = self._spec(2, 3)
+        digest = sha256(b"spend")
+        signatures = collect_signatures(
+            digest, [keys[0].private, keys[1].private], spec
+        )
+        assert spec.verify(digest, signatures)
+
+    def test_collect_signatures_under_threshold(self):
+        spec, keys = self._spec(2, 3)
+        with pytest.raises(ThresholdError):
+            collect_signatures(sha256(b"spend"), [keys[0].private], spec)
+
+    def test_cost_weight(self):
+        spec, _ = self._spec(2, 3)
+        assert spec.cost_weight() == 1.5
+
+    def test_share_indices(self):
+        spec, keys = self._spec(2, 3)
+        indices = share_indices_for_keys(
+            spec, {"first": keys[0].public, "third": keys[2].public}
+        )
+        assert indices == {"first": 1, "third": 3}
+
+    def test_share_indices_unknown_holder(self):
+        spec, _ = self._spec(2, 3)
+        with pytest.raises(ThresholdError):
+            share_indices_for_keys(
+                spec, {"evil": KeyPair.from_seed(b"evil").public}
+            )

@@ -1,0 +1,277 @@
+"""Network substrate: transports, topologies, secure channels, and the
+message adversary."""
+
+import pytest
+
+from repro.crypto import KeyPair
+from repro.errors import (
+    AttestationError,
+    MessageAuthenticationError,
+    NetworkError,
+)
+from repro.network import (
+    InstantNetwork,
+    Network,
+    NetworkAdversary,
+    Topology,
+    complete_graph_overlay,
+    establish_secure_channel,
+    fig3_topology,
+    hub_and_spoke_overlay,
+)
+from repro.simulation import Scheduler
+from repro.tee import AttestationService, Enclave, EnclaveProgram
+
+
+class Prog(EnclaveProgram):
+    PROGRAM_NAME = "net-test"
+
+
+class Tampered(EnclaveProgram):
+    PROGRAM_NAME = "net-test-tampered"
+
+
+class TestTransport:
+    def test_latency_is_half_rtt_plus_serialisation(self):
+        topology = fig3_topology()
+        scheduler = Scheduler()
+        network = Network(scheduler, topology.latency_fn(),
+                          topology.bandwidth_fn())
+        arrivals = []
+        network.register("US", lambda m: arrivals.append(scheduler.now))
+        network.register("UK1", lambda m: None)
+        network.send("UK1", "US", "ping", size=512)
+        scheduler.run()
+        expected = 0.090 / 2 + 512 * 8 / 150e6
+        assert arrivals[0] == pytest.approx(expected)
+
+    def test_unregistered_destination_drops_silently(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, lambda a, b: 0.01)
+        network.register("a", lambda m: None)
+        network.send("a", "ghost", "x")
+        scheduler.run()  # no exception: the host is just gone
+
+    def test_crash_between_send_and_delivery_drops(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, lambda a, b: 1.0)
+        got = []
+        network.register("a", lambda m: None)
+        network.register("b", got.append)
+        network.send("a", "b", "x")
+        network.unregister("b")
+        scheduler.run()
+        assert got == []
+
+    def test_duplicate_registration_rejected(self):
+        network = InstantNetwork()
+        network.register("a", lambda m: None)
+        with pytest.raises(NetworkError):
+            network.register("a", lambda m: None)
+
+    def test_instant_fifo_cascade(self):
+        network = InstantNetwork()
+        log = []
+
+        def handler_a(message):
+            log.append(("a", message.payload))
+            if message.payload == "start":
+                network.send("a", "b", "fwd1")
+                network.send("a", "b", "fwd2")
+
+        network.register("a", handler_a)
+        network.register("b", lambda m: log.append(("b", m.payload)))
+        network.send("x", "a", "start")
+        assert log == [("a", "start"), ("b", "fwd1"), ("b", "fwd2")]
+
+    def test_byte_accounting(self):
+        network = InstantNetwork()
+        network.register("b", lambda m: None)
+        network.send("a", "b", "x", size=100)
+        network.send("a", "b", "y", size=200)
+        assert network.messages_sent == 2
+        assert network.bytes_sent == 300
+
+
+class TestTopology:
+    def test_fig3_rtts(self):
+        topology = fig3_topology()
+        assert topology.rtt("UK1", "US") == 0.090
+        assert topology.rtt("UK1", "IL1") == 0.060
+        assert topology.rtt("US", "IL2") == 0.140
+        assert topology.rtt("UK1", "UK7") == 0.0005
+        assert topology.rtt("US", "US") == 0.0
+
+    def test_fig3_machine_count(self):
+        assert len(fig3_topology(uk_machines=30).nodes()) == 33
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(NetworkError):
+            fig3_topology().rtt("mars", "US")
+
+    def test_uniform_topology(self):
+        topology = Topology.uniform(["a", "b", "c"], rtt=0.1)
+        assert topology.rtt("a", "c") == 0.1
+
+    def test_complete_graph_overlay(self):
+        overlay = complete_graph_overlay(["a", "b", "c", "d"])
+        assert len(overlay.channels) == 6
+        assert overlay.has_channel("a", "d")
+        assert sorted(overlay.neighbours("a")) == ["b", "c", "d"]
+
+    def test_hub_and_spoke_default_shape(self):
+        overlay = hub_and_spoke_overlay()
+        assert len(overlay.nodes) == 30
+        tiers = [overlay.tier_of[node] for node in overlay.nodes]
+        assert tiers.count(1) == 3
+        assert tiers.count(2) == 9
+        assert tiers.count(3) == 18
+        # Hubs form a complete core.
+        assert overlay.has_channel("Nhub1", "Nhub2")
+        # Leaves connect only to their mid.
+        assert len(overlay.neighbours("Nleaf1")) == 1
+
+
+class TestSecureChannel:
+    def _pair(self):
+        service = AttestationService()
+        a = Enclave(Prog(), seed=b"sc-a")
+        b = Enclave(Prog(), seed=b"sc-b")
+        return service, a, b
+
+    def test_roundtrip(self):
+        service, a, b = self._pair()
+        chan_a, chan_b = establish_secure_channel(a, b, service)
+        envelope = chan_a.seal_message({"amount": 7})
+        assert chan_b.open_message(envelope) == {"amount": 7}
+
+    def test_replay_rejected(self):
+        service, a, b = self._pair()
+        chan_a, chan_b = establish_secure_channel(a, b, service)
+        envelope = chan_a.seal_message("once")
+        chan_b.open_message(envelope)
+        with pytest.raises(MessageAuthenticationError):
+            chan_b.open_message(envelope)
+
+    def test_reorder_rejected(self):
+        service, a, b = self._pair()
+        chan_a, chan_b = establish_secure_channel(a, b, service)
+        first = chan_a.seal_message("first")
+        second = chan_a.seal_message("second")
+        chan_b.open_message(second)
+        with pytest.raises(MessageAuthenticationError):
+            chan_b.open_message(first)
+
+    def test_tampering_rejected(self):
+        service, a, b = self._pair()
+        chan_a, chan_b = establish_secure_channel(a, b, service)
+        envelope = bytearray(chan_a.seal_message("x"))
+        envelope[20] ^= 1
+        with pytest.raises(MessageAuthenticationError):
+            chan_b.open_message(bytes(envelope))
+
+    def test_cross_channel_rejected(self):
+        service, a, b = self._pair()
+        c = Enclave(Prog(), seed=b"sc-c")
+        chan_a, chan_b = establish_secure_channel(a, b, service)
+        chan_a2, chan_c = establish_secure_channel(a, c, service)
+        envelope = chan_a2.seal_message("for c")
+        with pytest.raises(MessageAuthenticationError):
+            chan_b.open_message(envelope)
+
+    def test_wrong_program_fails_attestation(self):
+        service, a, _ = self._pair()
+        tampered = Enclave(Tampered(), seed=b"evil")
+        with pytest.raises(AttestationError):
+            establish_secure_channel(a, tampered, service)
+
+    def test_blob_namespace_independent_of_messages(self):
+        service, a, b = self._pair()
+        chan_a, chan_b = establish_secure_channel(a, b, service)
+        blob = chan_a.seal_blob("key-material")
+        chan_b.open_message(chan_a.seal_message("outer"))
+        # Blob opens regardless of message-counter state.
+        assert chan_b.open_blob(blob) == "key-material"
+
+    def test_blob_tampering_rejected(self):
+        service, a, b = self._pair()
+        chan_a, chan_b = establish_secure_channel(a, b, service)
+        blob = bytearray(chan_a.seal_blob("key"))
+        blob[-1] ^= 1
+        with pytest.raises(MessageAuthenticationError):
+            chan_b.open_blob(bytes(blob))
+
+
+class TestAdversary:
+    def test_partition_and_heal(self):
+        network = InstantNetwork()
+        got = []
+        network.register("b", lambda m: got.append(m.payload))
+        adversary = NetworkAdversary(network)
+        adversary.partition("a", "b")
+        network.send("a", "b", "lost")
+        assert got == []
+        adversary.heal("a", "b")
+        network.send("a", "b", "found")
+        assert got == ["found"]
+
+    def test_partition_is_directional(self):
+        network = InstantNetwork()
+        got = []
+        network.register("a", lambda m: got.append(m.payload))
+        network.register("b", lambda m: None)
+        adversary = NetworkAdversary(network)
+        adversary.partition("a", "b")
+        network.send("b", "a", "reverse")
+        assert got == ["reverse"]
+
+    def test_drop_after(self):
+        network = InstantNetwork()
+        got = []
+        network.register("b", lambda m: got.append(m.payload))
+        adversary = NetworkAdversary(network)
+        adversary.drop_after("a", "b", 2)
+        for index in range(4):
+            network.send("a", "b", index)
+        assert got == [0, 1]
+
+    def test_record_and_replay(self):
+        network = InstantNetwork()
+        got = []
+        network.register("b", lambda m: got.append(m.payload))
+        adversary = NetworkAdversary(network)
+        adversary.record("a", "b")
+        network.send("a", "b", "original")
+        adversary.replay_recorded(0)
+        assert got == ["original", "original"]
+
+    def test_duplicate(self):
+        network = InstantNetwork()
+        got = []
+        network.register("b", lambda m: got.append(m.payload))
+        adversary = NetworkAdversary(network)
+        adversary.duplicate("a", "b")
+        network.send("a", "b", "x")
+        assert got == ["x", "x"]
+
+    def test_delay_on_simulated_network(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, lambda a, b: 0.010)
+        arrivals = []
+        network.register("b", lambda m: arrivals.append(scheduler.now))
+        adversary = NetworkAdversary(network)
+        adversary.delay("a", "b", 5.0)
+        network.send("a", "b", "late")
+        scheduler.run()
+        assert arrivals[0] == pytest.approx(5.005)
+
+    def test_lossy_link(self):
+        network = InstantNetwork()
+        got = []
+        network.register("b", lambda m: got.append(m.payload))
+        adversary = NetworkAdversary(network, rng_seed=1)
+        adversary.lossy("a", "b", probability=0.5)
+        for index in range(100):
+            network.send("a", "b", index)
+        assert 20 < len(got) < 80
+        assert len(adversary.dropped) == 100 - len(got)
