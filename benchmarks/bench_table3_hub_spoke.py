@@ -9,6 +9,7 @@ things *worse* (longer paths lock more channels).
 
 import pytest
 
+from repro import obs
 from repro.bench.harness import ExperimentResult, within_factor
 from repro.bench.netsim import NetworkSimulation, NetworkSimulationConfig
 from repro.network.topology import complete_graph_overlay, hub_and_spoke_overlay
@@ -25,20 +26,28 @@ PAPER = {
 
 
 def run_row(routing: str, committee_size: int):
-    config = NetworkSimulationConfig(
-        overlay=hub_and_spoke_overlay(), committee_size=committee_size,
-        routing=routing, payment_count=8_000,
-    )
-    result = NetworkSimulation(config).run()
-    return result.throughput, result.average_latency, result.average_hops
+    # Each row collects its own registry so link-occupancy and retry
+    # histograms in the sidecar are per-configuration, not smeared.
+    with obs.collecting() as (registry, _tracer):
+        config = NetworkSimulationConfig(
+            overlay=hub_and_spoke_overlay(), committee_size=committee_size,
+            routing=routing, payment_count=8_000,
+        )
+        result = NetworkSimulation(config).run()
+    measured = (result.throughput, result.average_latency,
+                result.average_hops)
+    return measured, registry.snapshot()
 
 
 def sweep():
-    return {key: run_row(*key) for key in PAPER}
+    measured, snapshots = {}, {}
+    for key in PAPER:
+        measured[key], snapshots[key] = run_row(*key)
+    return measured, snapshots
 
 
 def test_table3_hub_and_spoke(once):
-    measured = once(sweep)
+    measured, snapshots = once(sweep)
 
     results = []
     for (routing, n), (throughput, latency, hops) in sorted(measured.items()):
@@ -48,7 +57,12 @@ def test_table3_hub_and_spoke(once):
             "Table 3", label, "throughput", throughput, paper_tp, "tx/s"))
         results.append(ExperimentResult(
             "Table 3", label, "avg hops", hops, paper_hops, "hops"))
-    report("Table 3: hub-and-spoke topology", results)
+    report("Table 3: hub-and-spoke topology", results,
+           sidecar="table3_hub_spoke",
+           extra={"metrics": {
+               f"{routing},n={n}": snapshot
+               for (routing, n), snapshot in snapshots.items()
+           }})
 
     # Calibration anchor: no-FT shortest-path throughput near the paper.
     assert within_factor(measured[("shortest", 1)][0], 671, 1.25)

@@ -1,14 +1,29 @@
 """Shared benchmark fixtures and reporting helpers."""
 
+import os
+
 import pytest
 
-from repro.bench.harness import ExperimentResult, comparison_table
+from repro.bench.harness import ExperimentResult, comparison_table, write_sidecar
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 
 
-def report(title, results):
-    """Print a paper-vs-measured table (captured by pytest -s / tee)."""
+def report(title, results, sidecar=None, metrics=None, tracer=None,
+           extra=None):
+    """Print a paper-vs-measured table (captured by pytest -s / tee).
+
+    With ``sidecar=<name>``, also write ``BENCH_<name>.json`` next to the
+    benchmarks: the same rows machine-readable, plus a ``metrics`` key
+    (pass a registry, or per-row snapshots via ``extra``) — see the
+    sidecar convention in ROADMAP.md.
+    """
     print()
     print(comparison_table(title, results))
+    if sidecar is not None:
+        path = write_sidecar(sidecar, results, metrics=metrics,
+                             tracer=tracer, extra=extra, directory=BENCH_DIR)
+        print(f"metrics sidecar: {path}")
 
 
 @pytest.fixture

@@ -4,12 +4,19 @@ Every benchmark produces :class:`ExperimentResult` rows; the formatted
 tables are printed by the bench scripts and copied into EXPERIMENTS.md.
 Ratios flag where the reproduction diverges from the paper — the claim is
 shape fidelity (who wins, by roughly what factor), not absolute numbers.
+
+Besides the printed table, :func:`write_sidecar` dumps the same rows plus
+the run's :mod:`repro.obs` metrics snapshot as ``BENCH_<name>.json`` —
+the machine-readable companion every perf PR diffs against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs import MetricsRegistry, Tracer, export_json
 
 
 @dataclass(frozen=True)
@@ -35,6 +42,11 @@ class ExperimentResult:
         return (f"{self.configuration:<34} {self.measured:>12,.1f} "
                 f"{paper} {ratio}  {self.metric} [{self.unit}]")
 
+    def to_dict(self) -> Dict[str, Any]:
+        row = asdict(self)
+        row["ratio"] = self.ratio
+        return row
+
 
 def comparison_table(title: str,
                      results: Sequence[ExperimentResult]) -> str:
@@ -47,6 +59,36 @@ def comparison_table(title: str,
     ]
     lines.extend(result.format() for result in results)
     return "\n".join(lines)
+
+
+def sidecar_path(name: str, directory: Optional[str] = None) -> str:
+    """``BENCH_<name>.json`` in ``directory`` (default: cwd)."""
+    return os.path.join(directory or os.getcwd(), f"BENCH_{name}.json")
+
+
+def write_sidecar(
+    name: str,
+    results: Sequence[ExperimentResult],
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    extra: Optional[Dict[str, Any]] = None,
+    directory: Optional[str] = None,
+) -> str:
+    """Write the machine-readable sidecar for one benchmark.
+
+    The payload carries the paper-vs-measured rows under ``"results"``
+    and, when a registry is passed, its full snapshot under ``"metrics"``
+    (the ROADMAP.md sidecar convention).  Returns the path written.
+    """
+    payload: Dict[str, Any] = {
+        "benchmark": name,
+        "results": [result.to_dict() for result in results],
+    }
+    if extra:
+        payload.update(extra)
+    path = sidecar_path(name, directory)
+    export_json(path, metrics=metrics, tracer=tracer, extra=payload)
+    return path
 
 
 def within_factor(measured: float, paper: float, factor: float) -> bool:

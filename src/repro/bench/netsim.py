@@ -27,13 +27,15 @@ emerges from the simulation.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.bench.calibration import Calibration
 from repro.core.routing import iter_paths_by_length, shortest_path
 from repro.errors import ReproError, RoutingError
 from repro.network.topology import Overlay
+from repro.obs import MetricsRegistry, get_metrics, get_tracer, linear_buckets
 from repro.simulation.scheduler import Scheduler
 from repro.workloads.assignment import (
     assign_addresses_balanced,
@@ -62,6 +64,9 @@ class NetworkSimulationConfig:
     temporary_channels: int = 0      # Fig. 7's G (tier-1/2 links only)
     seed: int = 0
     calibration: Calibration = field(default_factory=Calibration)
+    # Observability: explicit registry, or None to use the module default
+    # installed by ``obs.collecting()`` (a shared no-op otherwise).
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         if self.routing not in ("shortest", "dynamic"):
@@ -112,9 +117,20 @@ class _PendingPayment:
 class NetworkSimulation:
     """One experiment run over an overlay."""
 
+    # Backoff delays live in [retry_min, retry_max] ≈ [0.1, 0.2] s; 10 ms
+    # buckets resolve the uniform draw.  Occupancy is a 0–1 ratio.
+    _BACKOFF_BUCKETS = linear_buckets(0.10, 0.01, 11)
+    _OCCUPANCY_BUCKETS = linear_buckets(0.1, 0.1, 10)
+    _ATTEMPT_BUCKETS = linear_buckets(1, 1, 20)
+
     def __init__(self, config: NetworkSimulationConfig) -> None:
         self.config = config
-        self.scheduler = Scheduler()
+        self.metrics = (config.metrics if config.metrics is not None
+                        else get_metrics())
+        self.scheduler = Scheduler(metrics=self.metrics)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.bind_clock(lambda: self.scheduler.clock.now)
         self._rng = random.Random(config.seed)
         overlay = config.overlay
         self._is_complete_graph = self._detect_complete(overlay)
@@ -134,8 +150,10 @@ class NetworkSimulation:
                 self._trace_addresses(trace), overlay.tier_of,
                 seed=config.seed,
             )
-        self._queues: Dict[str, List[_PendingPayment]] = {
-            node: [] for node in overlay.nodes
+        # Deques: _fill_window pops from the head across 20k-payment
+        # queues, which is O(n²) on a list.
+        self._queues: Dict[str, Deque[_PendingPayment]] = {
+            node: deque() for node in overlay.nodes
         }
         self._skipped = 0
         for payment in trace:
@@ -215,6 +233,8 @@ class NetworkSimulation:
             attempt = min(attempt, self.config.dynamic_path_limit - 1)
         key = (source, target, attempt)
         if key not in self._route_cache:
+            if self.metrics.enabled:
+                self.metrics.inc("netsim.route_cache_misses")
             try:
                 if self.config.routing == "shortest":
                     path = shortest_path(self.config.overlay, source, target)
@@ -223,10 +243,18 @@ class NetworkSimulation:
                         self.config.overlay, source, target,
                         limit=attempt + 1,
                     ))
-                    path = paths[min(attempt, len(paths) - 1)]
+                    # Fewer simple paths may exist than attempts made; an
+                    # empty list (source == target, or a just-connected
+                    # pair racing a RoutingError) must not IndexError.
+                    if paths:
+                        path = paths[min(attempt, len(paths) - 1)]
+                    else:
+                        path = None
             except RoutingError:
                 path = None
             self._route_cache[key] = path
+        elif self.metrics.enabled:
+            self.metrics.inc("netsim.route_cache_hits")
         return self._route_cache[key]
 
     # ------------------------------------------------------------------
@@ -234,9 +262,14 @@ class NetworkSimulation:
     # ------------------------------------------------------------------
 
     def run(self) -> NetworkResult:
-        for node in self.config.overlay.nodes:
-            self._fill_window(node, at=0.0)
-        self.scheduler.run_until_idle(max_events=50_000_000)
+        # The span's duration is simulated seconds — the run's makespan.
+        with get_tracer().span("netsim.run",
+                               routing=self.config.routing,
+                               nodes=len(self.config.overlay.nodes),
+                               committee=self.config.committee_size):
+            for node in self.config.overlay.nodes:
+                self._fill_window(node, at=0.0)
+            self.scheduler.run_until_idle(max_events=50_000_000)
         makespan = self._last_completion - (self._first_issue or 0.0)
         return NetworkResult(
             completed=self.completed,
@@ -250,12 +283,18 @@ class NetworkSimulation:
     def _fill_window(self, node: str, at: float) -> None:
         queue = self._queues[node]
         while queue and self._outstanding[node] < self.config.window:
-            pending = queue.pop(0)
+            pending = queue.popleft()
             self._outstanding[node] += 1
             pending.issued_at = max(at, self.scheduler.now)
             if self._first_issue is None:
                 self._first_issue = pending.issued_at
             self._attempt(pending)
+        if queue and self.metrics.enabled:
+            # Payments still queued with the window full: a stall — the
+            # per-machine W bound, not channel capacity, is gating issue.
+            self.metrics.inc("netsim.window_stalls")
+            self.metrics.set_gauge(f"netsim.queue_backlog[{node}]",
+                                   len(queue))
 
     def _attempt(self, pending: _PendingPayment) -> None:
         if self._is_complete_graph:
@@ -290,10 +329,24 @@ class NetworkSimulation:
         links = [frozenset((path[i], path[i + 1]))
                  for i in range(len(path) - 1)]
         if any(self._in_use[link] >= self._capacity[link] for link in links):
+            if self.metrics.enabled:
+                self.metrics.inc("netsim.lock_conflicts")
+                for link in links:
+                    if self._in_use[link] >= self._capacity[link]:
+                        self.metrics.inc(
+                            f"netsim.link_conflicts[{self._link_label(link)}]"
+                        )
             self._schedule_retry(pending)
             return
         for link in links:
             self._in_use[link] += 1
+        if self.metrics.enabled:
+            for link in links:
+                self.metrics.observe(
+                    f"netsim.link_occupancy[{self._link_label(link)}]",
+                    self._in_use[link] / self._capacity[link],
+                    buckets=self._OCCUPANCY_BUCKETS,
+                )
         hops = len(links)
         duration = self._payment_duration(hops)
 
@@ -311,6 +364,10 @@ class NetworkSimulation:
         self.retries += 1
         delay = self._rng.uniform(self.config.retry_min,
                                   self.config.retry_max)
+        if self.metrics.enabled:
+            self.metrics.inc("netsim.retries")
+            self.metrics.observe("netsim.retry_backoff", delay,
+                                 buckets=self._BACKOFF_BUCKETS)
         self.scheduler.call_after(delay, lambda: self._attempt(pending))
 
     def _complete(self, pending: _PendingPayment, hops: int) -> None:
@@ -318,11 +375,24 @@ class NetworkSimulation:
         self.total_hops += hops
         self.total_latency += self.scheduler.now - pending.issued_at
         self._last_completion = self.scheduler.now
+        if self.metrics.enabled:
+            self.metrics.inc("netsim.completed")
+            self.metrics.observe("netsim.payment_latency",
+                                 self.scheduler.now - pending.issued_at)
+            self.metrics.observe("netsim.attempts_per_payment",
+                                 pending.attempts or 1,
+                                 buckets=self._ATTEMPT_BUCKETS)
         self._release_window(pending.sender_machine)
 
     def _fail(self, pending: _PendingPayment) -> None:
         self.failed += 1
+        if self.metrics.enabled:
+            self.metrics.inc("netsim.failed")
         self._release_window(pending.sender_machine)
+
+    @staticmethod
+    def _link_label(link: Link) -> str:
+        return "|".join(sorted(link))
 
     def _release_window(self, node: str) -> None:
         self._outstanding[node] -= 1

@@ -64,7 +64,12 @@ class PaymentBatcher:
         """Send every pending batch as a single payment per channel.
 
         Returns the number of logical payments flushed."""
-        self._timer = None
+        if self._timer is not None:
+            # An explicit flush supersedes the scheduled one; left alive,
+            # the stale timer would fire mid-window and flush the *next*
+            # batch early, breaking the §7.2 100 ms batching window.
+            self._timer.cancel()
+            self._timer = None
         flushed = 0
         pending, self._pending = self._pending, {}
         for channel_id, batch in pending.items():

@@ -54,6 +54,7 @@ from repro.core.settlement import (
 from repro.core.state import ChannelState, MultihopStage
 from repro.crypto.keys import PublicKey
 from repro.errors import MultihopError, SettlementError
+from repro.obs import get_metrics, get_tracer
 
 logger = logging.getLogger(__name__)
 
@@ -77,6 +78,9 @@ class MultihopSession:
     post_txids: Tuple[str, ...] = ()
     tau: Optional[Transaction] = None
     completed: bool = False
+    # Simulated-clock timestamp of the last stage transition (0.0 in
+    # direct mode, where no clock is bound) — feeds per-stage latency.
+    stage_entered_at: float = 0.0
 
     @property
     def amount(self) -> int:
@@ -196,6 +200,16 @@ class MultihopMixin:
 
     def _set_stage(self, session: MultihopSession,
                    stage: MultihopStage) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            previous = session.stage
+            now = get_tracer().now()
+            metrics.inc(f"multihop.stage[{stage.value}]")
+            # Time spent in the stage we are leaving; simulated seconds
+            # when a benchmark clock is bound, all-zero in direct mode.
+            metrics.observe(f"multihop.stage_seconds[{previous.value}]",
+                            now - session.stage_entered_at)
+            session.stage_entered_at = now
         session.stage = stage
         for channel_id in session.local_channel_ids():
             self.channels[channel_id].stage = stage
@@ -266,6 +280,7 @@ class MultihopMixin:
             path=path, position=position, stage=MultihopStage.LOCK,
             in_channel_id=in_channel.channel_id if in_channel else None,
             out_channel_id=None,
+            stage_entered_at=get_tracer().now(),
         )
         if in_channel is not None:
             # Alg. 2 line 64 ejects with settlements of *both* adjacent
@@ -585,6 +600,12 @@ class MultihopMixin:
             self.send_secure(in_channel.remote_key, message)  # line 59
 
     def _finish_session(self, session: MultihopSession) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("multihop.completed")
+            get_tracer().emit("multihop.finished",
+                              payment_id=session.path.payment_id,
+                              hops=len(session.path.hops) - 1)
         session.stage = MultihopStage.IDLE
         session.completed = True
         session.tau = None
@@ -620,6 +641,9 @@ class MultihopMixin:
         del self.multihop_sessions[message.path.payment_id]
         self.pending_candidate_txids.pop(message.path.payment_id, None)
         self.multihop_aborted[message.path.payment_id] = message.reason
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("multihop.aborted")
         self._replicated(f"mh_abort:{message.path.payment_id}")
         if session.position > 1 and session.in_channel_id is not None:
             in_channel = self.channels[session.in_channel_id]

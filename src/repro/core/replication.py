@@ -41,8 +41,12 @@ from repro.errors import (
     ReplicationError,
     SettlementError,
 )
+from repro.obs import exponential_buckets, get_metrics
 from repro.tee.attestation import AttestationService, verify_quote
 from repro.tee.enclave import Enclave, EnclaveProgram
+
+# Replication blobs run hundreds of bytes to a few hundred KiB.
+_BLOB_BUCKETS = exponential_buckets(256, 2.0, 12)
 
 
 class CommitteeMemberProgram(EnclaveProgram):
@@ -232,6 +236,14 @@ class ReplicationChain:
         blob = replication_blob(self.primary.program)
         self.version += 1
         self.pushes += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            # One chain-update round = one push down the whole chain;
+            # blob size drives the replication-bandwidth bottleneck (§7.3).
+            metrics.inc("replication.chain_updates")
+            metrics.inc("replication.member_updates", len(self.members))
+            metrics.observe("replication.blob_bytes", len(blob),
+                            buckets=_BLOB_BUCKETS)
         for member in self.members:
             try:
                 member.ecall("state_update", self.chain_id, self.version, blob)

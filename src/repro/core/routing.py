@@ -48,14 +48,18 @@ def iter_paths_by_length(overlay: Overlay, source: str, target: str,
     order ("each machine first tries the shortest path, before
     incrementally trying longer paths", §7.4)."""
     graph = overlay_graph(overlay)
+    # ``shortest_simple_paths`` is itself a generator: NetworkXNoPath /
+    # NodeNotFound surface on first *iteration*, not at the call, so the
+    # whole loop must sit inside the try or the raw networkx exception
+    # escapes to callers that only catch RoutingError.
     try:
         paths = networkx.shortest_simple_paths(graph, source, target)
+        for count, path in enumerate(paths):
+            if limit is not None and count >= limit:
+                return
+            yield path
     except (networkx.NetworkXNoPath, networkx.NodeNotFound) as exc:
         raise RoutingError(f"no path from {source} to {target}") from exc
-    for count, path in enumerate(paths):
-        if limit is not None and count >= limit:
-            return
-        yield path
 
 
 def path_length(path: Sequence[str]) -> int:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
+from repro.obs import get_metrics
 from repro.simulation.scheduler import Scheduler
 
 Handler = Callable[["Message"], None]
@@ -43,7 +44,13 @@ class BaseNetwork:
         self._handlers: Dict[str, Handler] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Adversary-suppressed traffic is accounted separately: a message a
+        # tap swallowed never went over the wire, so counting it as sent
+        # would skew every bandwidth/cost figure derived from these.
+        self.messages_suppressed = 0
+        self.bytes_suppressed = 0
         self._taps: List[Callable[[Message], Optional[bool]]] = []
+        self._metrics = get_metrics()
 
     def register(self, name: str, handler: Handler) -> None:
         if name in self._handlers:
@@ -74,6 +81,27 @@ class BaseNetwork:
         for tap in self._taps:
             if tap(message) is False:
                 return False
+        return True
+
+    def _account_send(self, message: Message) -> bool:
+        """Consult taps, then update wire accounting.
+
+        Returns ``True`` if the message should be delivered.  Tap-dropped
+        messages count as suppressions, not as sent traffic.
+        """
+        if not self._tap_allows(message):
+            self.messages_suppressed += 1
+            self.bytes_suppressed += message.size
+            if self._metrics.enabled:
+                self._metrics.inc("transport.tap_drops")
+                self._metrics.inc("transport.tap_dropped_bytes", message.size)
+            return False
+        self.messages_sent += 1
+        self.bytes_sent += message.size
+        if self._metrics.enabled:
+            pair = f"{message.sender}->{message.destination}"
+            self._metrics.inc(f"transport.messages[{pair}]")
+            self._metrics.inc(f"transport.bytes[{pair}]", message.size)
         return True
 
 
@@ -112,9 +140,7 @@ class Network(BaseNetwork):
         exactly what a dead host does.
         """
         message = Message(sender, destination, payload, size)
-        self.messages_sent += 1
-        self.bytes_sent += size
-        if not self._tap_allows(message):
+        if not self._account_send(message):
             return
         delay = self.one_way_delay(sender, destination, size)
         self.deliver_after(delay, message)
@@ -147,9 +173,7 @@ class InstantNetwork(BaseNetwork):
     def send(self, sender: str, destination: str, payload: Any,
              size: int = DEFAULT_MESSAGE_SIZE) -> None:
         message = Message(sender, destination, payload, size)
-        self.messages_sent += 1
-        self.bytes_sent += size
-        if not self._tap_allows(message):
+        if not self._account_send(message):
             return
         self._queue.append(message)
         self._drain()

@@ -1,0 +1,64 @@
+"""JSON export: the machine-readable sidecar next to every benchmark table.
+
+Convention (see ROADMAP.md): a benchmark that prints a paper-vs-measured
+table also writes ``BENCH_<name>.json`` beside itself with the measured
+rows under ``"results"`` and the full metrics snapshot under
+``"metrics"`` (plus ``"trace"`` when tracing was on).  Downstream perf
+PRs diff those sidecars instead of re-parsing printed tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["build_payload", "dump_json", "export_json", "load_json"]
+
+
+def build_payload(metrics: Optional[MetricsRegistry] = None,
+                  tracer: Optional[Tracer] = None,
+                  extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble the sidecar dict: ``extra`` rows first, then the metrics
+    snapshot and trace events."""
+    payload: Dict[str, Any] = dict(extra) if extra else {}
+    if metrics is not None:
+        payload["metrics"] = metrics.snapshot()
+    if tracer is not None:
+        payload["trace"] = {
+            "events": tracer.events(),
+            "emitted": tracer.emitted,
+            "dropped": tracer.dropped,
+        }
+    return payload
+
+
+def dump_json(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True, default=_coerce)
+
+
+def export_json(path: str,
+                metrics: Optional[MetricsRegistry] = None,
+                tracer: Optional[Tracer] = None,
+                extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Write the sidecar to ``path`` and return the payload."""
+    payload = build_payload(metrics=metrics, tracer=tracer, extra=extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_json(payload))
+        handle.write("\n")
+    return payload
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _coerce(value: Any) -> Any:
+    """Last-resort serialiser: sets become sorted lists, everything else
+    its repr — a sidecar write must never crash a benchmark."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return repr(value)

@@ -1,0 +1,106 @@
+"""Structured trace events on the simulated clock.
+
+A :class:`Tracer` holds a bounded ring of ``(time, name, fields)`` events.
+Time comes from a bound clock callable — benchmarks bind the DES clock so
+every event is stamped with *simulated* seconds, not wall-clock.  When the
+ring overflows, the oldest events are dropped and counted, never raised:
+tracing must not perturb the run it observes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Tracer", "NullTracer", "NO_TRACE", "DEFAULT_CAPACITY"]
+
+DEFAULT_CAPACITY = 8192
+
+TraceEvent = Tuple[float, str, Dict[str, Any]]
+
+
+def _zero() -> float:
+    return 0.0
+
+
+class Tracer:
+    """Bounded ring buffer of structured events."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 now: Optional[Callable[[], float]] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"trace capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._now = now if now is not None else _zero
+        self.emitted = 0
+
+    def bind_clock(self, now: Callable[[], float]) -> None:
+        """Stamp subsequent events with ``now()`` — benchmarks bind the
+        simulated clock here (the last binder wins; one simulation is
+        traced at a time)."""
+        self._now = now
+
+    def now(self) -> float:
+        return self._now()
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Record one event at the current (simulated) time."""
+        self.emitted += 1
+        self._events.append((self._now(), name, fields))
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[None]:
+        """Emit ``name`` on exit with the elapsed simulated ``duration``.
+
+        Useful around scheduler-driven sections: the duration is simulated
+        seconds, so a span around ``scheduler.run()`` measures makespan."""
+        start = self._now()
+        try:
+            yield
+        finally:
+            self.emit(name, duration=self._now() - start, **fields)
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring overflow."""
+        return self.emitted - len(self._events)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first, as JSON-ready dicts."""
+        return [
+            {"t": time, "event": name, **fields}
+            for time, name, fields in self._events
+        ]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return (f"Tracer(events={len(self._events)}/{self.capacity}, "
+                f"dropped={self.dropped})")
+
+
+class NullTracer(Tracer):
+    """The module-level default: events vanish, spans still nest."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def bind_clock(self, now: Callable[[], float]) -> None:
+        pass
+
+    def emit(self, name: str, **fields: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[None]:
+        yield
+
+
+NO_TRACE = NullTracer()

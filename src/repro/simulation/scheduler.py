@@ -13,6 +13,7 @@ import itertools
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs import MetricsRegistry, get_metrics
 from repro.simulation.clock import Clock
 
 
@@ -52,11 +53,16 @@ class Scheduler:
         print(sched.clock.now)   # 0.090
     """
 
-    def __init__(self, clock: Optional[Clock] = None) -> None:
+    def __init__(self, clock: Optional[Clock] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.clock = clock if clock is not None else Clock()
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled_skipped = 0
+        # Default to the module-level registry (a shared no-op unless a
+        # benchmark is collecting); one ``enabled`` check per event.
+        self._metrics = metrics if metrics is not None else get_metrics()
 
     @property
     def now(self) -> float:
@@ -67,6 +73,11 @@ class Scheduler:
     def events_processed(self) -> int:
         """Number of events executed so far (diagnostic)."""
         return self._events_processed
+
+    @property
+    def cancelled_skipped(self) -> int:
+        """Cancelled events discarded from the queue so far (churn)."""
+        return self._cancelled_skipped
 
     @property
     def pending(self) -> int:
@@ -98,9 +109,16 @@ class Scheduler:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_skipped += 1
+                if self._metrics.enabled:
+                    self._metrics.inc("scheduler.cancelled_skipped")
                 continue
             self.clock.advance_to(event.time)
             self._events_processed += 1
+            if self._metrics.enabled:
+                self._metrics.inc("scheduler.events_processed")
+                self._metrics.set_gauge("scheduler.queue_depth",
+                                        len(self._queue))
             event.callback()
             return True
         return False
@@ -111,22 +129,27 @@ class Scheduler:
 
         ``until`` is inclusive: events scheduled exactly at ``until`` run,
         and the clock is left at ``until`` (or at the last event time if the
-        queue drained earlier and ``until`` is ``None``).
+        queue drained earlier and ``until`` is ``None``).  When ``max_events``
+        stops the loop the same contract holds, with one exception: if
+        events at or before ``until`` are still pending, the clock stays at
+        the last executed event — it cannot truthfully pass events that have
+        not run yet.
         """
         executed = 0
         while self._queue:
             if max_events is not None and executed >= max_events:
-                return
+                break
             nxt = self._peek()
             if nxt is None:
                 break
             if until is not None and nxt.time > until:
-                self.clock.advance_to(until)
-                return
+                break
             if self.step():
                 executed += 1
         if until is not None and self.clock.now < until:
-            self.clock.advance_to(until)
+            nxt = self._peek()
+            if nxt is None or nxt.time > until:
+                self.clock.advance_to(until)
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Drain the queue completely, guarding against runaway loops."""
@@ -139,11 +162,18 @@ class Scheduler:
                 )
 
     def _peek(self) -> Optional[Event]:
-        """Return the earliest non-cancelled event without removing it."""
+        """Return the earliest non-cancelled event without removing it.
+
+        Cancelled events drained here count towards the churn metric just
+        like the ones :meth:`step` discards.
+        """
         while self._queue:
             event = self._queue[0]
             if event.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled_skipped += 1
+                if self._metrics.enabled:
+                    self._metrics.inc("scheduler.cancelled_skipped")
                 continue
             return event
         return None

@@ -92,6 +92,51 @@ class TestTransport:
         assert network.messages_sent == 2
         assert network.bytes_sent == 300
 
+    def test_tap_suppression_not_counted_as_sent(self):
+        # Messages the adversary takes over never reach the wire; they
+        # must land in the suppressed counters, not messages_sent.
+        network = InstantNetwork()
+        network.register("b", lambda m: None)
+        adversary = NetworkAdversary(network)
+        adversary.partition("a", "b")
+        network.send("a", "b", "lost", size=64)
+        assert network.messages_sent == 0
+        assert network.bytes_sent == 0
+        assert network.messages_suppressed == 1
+        assert network.bytes_suppressed == 64
+        adversary.heal("a", "b")
+        network.send("a", "b", "found", size=32)
+        assert network.messages_sent == 1
+        assert network.bytes_sent == 32
+        assert network.messages_suppressed == 1
+
+    def test_tap_suppression_on_simulated_network(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, lambda a, b: 0.01)
+        network.register("b", lambda m: None)
+        NetworkAdversary(network).partition("a", "b")
+        network.send("a", "b", "x", size=10)
+        scheduler.run()
+        assert network.messages_sent == 0
+        assert network.messages_suppressed == 1
+
+    def test_transport_metrics_split_sends_and_drops(self):
+        from repro import obs
+
+        with obs.collecting() as (registry, _tracer):
+            network = InstantNetwork()
+            network.register("b", lambda m: None)
+            adversary = NetworkAdversary(network)
+            adversary.partition("a", "b")
+            network.send("a", "b", "lost", size=10)
+            network.send("c", "b", "ok", size=5)
+        counters = registry.snapshot()["counters"]
+        assert counters["transport.tap_drops"] == 1
+        assert counters["transport.tap_dropped_bytes"] == 10
+        assert counters["transport.messages[c->b]"] == 1
+        assert counters["transport.bytes[c->b]"] == 5
+        assert "transport.messages[a->b]" not in counters
+
 
 class TestTopology:
     def test_fig3_rtts(self):

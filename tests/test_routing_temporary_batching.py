@@ -48,6 +48,21 @@ class TestRouting:
         with pytest.raises(RoutingError):
             shortest_path(overlay, "Nhub1", "mars")
 
+    def test_disconnected_pair_raises_routing_error_during_iteration(self):
+        # iter_paths_by_length is a generator: networkx only discovers
+        # there is no path once iteration starts, so the guard must wrap
+        # the loop, not just the shortest_simple_paths() call.
+        overlay = Overlay(nodes=("a", "b", "island"),
+                          channels=(("a", "b"),), tier_of={})
+        paths = iter_paths_by_length(overlay, "a", "island")
+        with pytest.raises(RoutingError):
+            next(paths)
+
+    def test_unknown_node_raises_routing_error_during_iteration(self):
+        overlay = hub_and_spoke_overlay()
+        with pytest.raises(RoutingError):
+            list(iter_paths_by_length(overlay, "Nhub1", "mars"))
+
 
 class TestTemporaryChannels:
     @pytest.fixture
@@ -162,6 +177,27 @@ class TestBatching:
         network.scheduler.run()
         assert batcher.pending_count(channel) == 0
         assert alice.channel_balance(channel)[1] == 30_300
+
+    def test_explicit_flush_cancels_window_timer(self, open_channel):
+        """An explicit flush() must cancel the armed window timer; a
+        stale timer would flush the *next* batch before its own 100 ms
+        window elapses (§7.2)."""
+        network, alice, bob, channel = open_channel
+        scheduler = network.scheduler
+        batcher = PaymentBatcher(alice, window=0.1, scheduler=scheduler)
+        batcher.submit(channel, 100)  # timer armed for t = 0.1
+
+        def flush_then_resubmit():
+            batcher.flush()           # explicit flush at t = 0.04
+            batcher.submit(channel, 200)  # new window ends at t = 0.14
+
+        scheduler.call_at(0.04, flush_then_resubmit)
+        scheduler.run(until=0.12)
+        # With the stale timer the second batch flushes at t = 0.1.
+        assert batcher.pending_count(channel) == 1
+        scheduler.run()
+        assert batcher.pending_count(channel) == 0
+        assert batcher.batches_flushed == 2
 
     def test_empty_flush_noop(self, open_channel):
         network, alice, bob, channel = open_channel

@@ -126,6 +126,41 @@ class TestScheduler:
         with pytest.raises(SimulationError):
             scheduler.run_until_idle(max_events=100)
 
+    def test_run_until_with_max_events_reaches_until(self):
+        # max_events stops the loop after draining everything ≤ until:
+        # the documented "clock left at until" contract must still hold.
+        scheduler = Scheduler()
+        fired = []
+        for time in (1.0, 2.0, 3.0):
+            scheduler.call_at(time, lambda t=time: fired.append(t))
+        scheduler.run(until=5.0, max_events=3)
+        assert fired == [1.0, 2.0, 3.0]
+        assert scheduler.now == 5.0
+
+    def test_run_max_events_with_pending_event_keeps_clock(self):
+        # An event at 3.0 ≤ until is still pending when max_events stops
+        # the loop; the clock must not jump past it (that would poison
+        # the next step() with a backwards clock move).
+        scheduler = Scheduler()
+        fired = []
+        for time in (1.0, 2.0, 3.0):
+            scheduler.call_at(time, lambda t=time: fired.append(t))
+        scheduler.run(until=5.0, max_events=2)
+        assert fired == [1.0, 2.0]
+        assert scheduler.now == 2.0
+        scheduler.run(until=5.0)  # resumes cleanly, no SimulationError
+        assert fired == [1.0, 2.0, 3.0]
+        assert scheduler.now == 5.0
+
+    def test_run_until_past_queue_with_max_events(self):
+        # Pending events beyond until don't block the clock contract.
+        scheduler = Scheduler()
+        scheduler.call_at(1.0, lambda: None)
+        scheduler.call_at(9.0, lambda: None)
+        scheduler.run(until=5.0, max_events=10)
+        assert scheduler.now == 5.0
+        assert scheduler.pending == 1
+
     def test_step_returns_false_when_empty(self):
         assert Scheduler().step() is False
 

@@ -12,6 +12,7 @@ from repro.bench.timing import (
 )
 from repro.errors import ReproError, WorkloadError
 from repro.network.topology import (
+    Overlay,
     complete_graph_overlay,
     fig3_topology,
     hub_and_spoke_overlay,
@@ -190,6 +191,44 @@ class TestNetworkSimulation:
             return NetworkSimulation(config).run().throughput
 
         assert run(3) == run(3)
+
+    def test_disconnected_overlay_dynamic_routing_completes(self):
+        # A partitioned overlay under dynamic routing must finish the run
+        # with failures recorded — not leak a networkx exception out of
+        # the path generator mid-iteration.
+        overlay = Overlay(
+            nodes=("hub", "mid", "leaf", "island"),
+            channels=(("hub", "mid"), ("mid", "leaf")),
+            tier_of={"hub": 1, "mid": 2, "leaf": 3, "island": 3},
+        )
+        config = NetworkSimulationConfig(
+            overlay=overlay, routing="dynamic", payment_count=500)
+        simulation = NetworkSimulation(config)
+        queued = sum(len(q) for q in simulation._queues.values())
+        result = simulation.run()
+        assert result.failed > 0
+        assert result.completed > 0
+        assert result.completed + result.failed == queued
+
+    def test_metrics_collection_does_not_perturb_results(self):
+        from repro import obs
+
+        def run():
+            config = NetworkSimulationConfig(
+                overlay=hub_and_spoke_overlay(), payment_count=1_000)
+            result = NetworkSimulation(config).run()
+            return (result.completed, result.failed, result.makespan,
+                    result.total_latency, result.total_hops, result.retries)
+
+        baseline = run()
+        with obs.collecting() as (registry, _tracer):
+            instrumented = run()
+        assert instrumented == baseline
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["netsim.completed"] == baseline[0]
+        assert any(name.startswith("netsim.link_occupancy[")
+                   for name in snapshot["histograms"])
+        assert snapshot["histograms"]["netsim.retry_backoff"]["count"] > 0
 
     def test_invalid_config_rejected(self):
         with pytest.raises(ReproError):
