@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Two Teechain daemons as real processes, driven over their control API.
+
+Spawns ``python -m repro.runtime serve`` twice, lets the daemons attest
+to each other over TCP (quotes in the wire handshake — no shared
+memory), opens a channel, funds it from both sides, streams payments in
+both directions, and settles on the replicated simulated blockchain.
+
+Everything crossing the sockets is the versioned wire codec; the same
+flow is available interactively:
+
+    terminal 1:  python -m repro.runtime serve --name alice --port 7000 \
+                     --control-port 7100 --fund alice=200000 --fund bob=200000
+    terminal 2:  python -m repro.runtime serve --name bob --port 7001 \
+                     --control-port 7101 --fund alice=200000 --fund bob=200000
+    terminal 3:  python -m repro.runtime call 127.0.0.1:7100 connect \
+                     peer=bob host=127.0.0.1 port=7001
+"""
+
+from repro.runtime.launch import launch_network
+
+
+def main() -> None:
+    print("=== spawning two node daemons (alice, bob) ===")
+    handles, ports = launch_network({"alice": 200_000, "bob": 200_000})
+    alice = handles["alice"].control
+    bob = handles["bob"].control
+    try:
+        for name, (port, control_port) in ports.items():
+            print(f"{name}: peers on :{port}, control on :{control_port}")
+
+        print("\n=== open a channel (attested over TCP) ===")
+        channel_id = alice.call("open-channel", peer="bob")["channel_id"]
+        print(f"channel: {channel_id}")
+
+        print("\n=== fund it from both sides ===")
+        for client, peer in ((alice, "bob"), (bob, "alice")):
+            deposit = client.call("deposit", value=60_000)
+            state = client.call("approve-associate", peer=peer,
+                                channel_id=channel_id, txid=deposit["txid"])
+            print(f"deposit {deposit['txid'][:12]}… associated; balances "
+                  f"{state['my_balance']}/{state['remote_balance']}")
+
+        print("\n=== 100 payments, both directions ===")
+        for _ in range(50):
+            alice.call("pay", channel_id=channel_id, amount=7)
+            bob.call("pay", channel_id=channel_id, amount=3)
+        rtt = alice.call("echo", peer="bob")["rtt_s"]
+        state = alice.call("channel", channel_id=channel_id)
+        print(f"alice sees {state['my_balance']}/{state['remote_balance']} "
+              f"(loopback echo RTT {rtt * 1e3:.2f} ms)")
+
+        print("\n=== settle to the replicated chain ===")
+        settlement = alice.call("settle", channel_id=channel_id)
+        print(f"settlement tx {settlement['txid'][:12]}… mined")
+        for name, client in (("alice", alice), ("bob", bob)):
+            balance = client.call("balance")["onchain"]
+            height = client.call("stats")["chain"]["height"]
+            print(f"{name}: on-chain {balance} at height {height}")
+    finally:
+        print("\n=== shutting daemons down ===")
+        for handle in handles.values():
+            handle.shutdown()
+
+
+if __name__ == "__main__":
+    main()

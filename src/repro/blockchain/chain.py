@@ -72,6 +72,7 @@ class Blockchain:
         self._tx_height: Dict[str, int] = {}
         self._coinbase_nonce = 0
         self._listeners: List[Callable[[Block], None]] = []
+        self._submit_listeners: List[Callable[[Transaction], None]] = []
 
     # ------------------------------------------------------------------
     # Queries
@@ -160,6 +161,8 @@ class Blockchain:
         self._mempool_ids.add(txid)
         for outpoint in transaction.spent_outpoints():
             self._mempool_spends[outpoint] = txid
+        for listener in list(self._submit_listeners):
+            listener(transaction)
         return txid
 
     # ------------------------------------------------------------------
@@ -207,6 +210,14 @@ class Blockchain:
     def subscribe(self, listener: Callable[[Block], None]) -> None:
         """Register a callback invoked after each mined block."""
         self._listeners.append(listener)
+
+    def subscribe_submit(self, listener: Callable[[Transaction], None]) -> None:
+        """Register a callback invoked after each accepted submission.
+
+        Fires only for *newly* accepted transactions (idempotent re-submits
+        are silent), which is what mempool gossip between replicas needs —
+        an echo of a transaction a peer relayed must not re-announce it."""
+        self._submit_listeners.append(listener)
 
     def __repr__(self) -> str:
         return (

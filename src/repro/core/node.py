@@ -56,7 +56,12 @@ from repro.errors import (
 )
 from repro.network.secure_channel import establish_secure_channel
 from repro.network.topology import Topology
-from repro.network.transport import InstantNetwork, Message, Network
+from repro.network.transport import (
+    BaseNetwork,
+    InstantNetwork,
+    Message,
+    Network,
+)
 from repro.simulation.scheduler import Scheduler
 from repro.tee.attestation import AttestationService
 from repro.tee.enclave import Enclave
@@ -71,22 +76,29 @@ class TeechainNetwork:
     protocol operations complete before the call returns, ideal for tests
     and examples.  ``transport="simulated"`` uses the discrete-event
     network with a :class:`~repro.network.topology.Topology`; callers must
-    :meth:`run` the scheduler to make progress.
+    :meth:`run` the scheduler to make progress.  Passing a
+    :class:`~repro.network.transport.BaseNetwork` *instance* (e.g. the
+    live ``AsyncTcpNetwork``) uses it as-is; pair it with a ``scheduler``
+    override such as the runtime's ``WallClockScheduler``.
     """
 
     def __init__(
         self,
-        transport: str = "instant",
+        transport: object = "instant",
         topology: Optional[Topology] = None,
         block_interval: float = 600.0,
+        scheduler: Optional[Scheduler] = None,
+        chain: Optional[Blockchain] = None,
     ) -> None:
-        self.scheduler = Scheduler()
-        self.chain = Blockchain()
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.chain = chain if chain is not None else Blockchain()
         self.miner = Miner(self.chain, self.scheduler,
                            block_interval=block_interval)
         self.attestation = AttestationService()
         self.topology = topology
-        if transport == "instant":
+        if isinstance(transport, BaseNetwork):
+            self.transport = transport
+        elif transport == "instant":
             self.transport = InstantNetwork()
         elif transport == "simulated":
             if topology is None:

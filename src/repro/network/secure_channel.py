@@ -31,9 +31,36 @@ from repro.crypto.authenticated import (
     nonce_from_counter,
 )
 from repro.crypto.keys import PublicKey
-from repro.errors import DecryptionError, MessageAuthenticationError
-from repro.tee.attestation import AttestationService, verify_quote
+from repro.errors import (
+    AttestationError,
+    DecryptionError,
+    MessageAuthenticationError,
+)
+from repro.tee.attestation import AttestationService, Quote, verify_quote
 from repro.tee.enclave import Enclave
+
+# Sealed plaintexts use the runtime wire codec when the payload has a wire
+# encoding (every protocol message does), so envelopes crossing a real
+# socket never contain pickle — decoding pickle from the network is an
+# arbitrary-code-execution hole.  Payloads with no wire form (test doubles)
+# fall back to pickle, which only ever happens in-process.  The two are
+# distinguished on decode by the codec's leading magic: pickle protocol ≥ 2
+# streams start with 0x80, never ``b"TCW"``.  The codec import is lazy to
+# keep this module importable without dragging the runtime package in.
+
+def _serialise(obj: Any) -> bytes:
+    from repro.runtime import codec
+    try:
+        return codec.encode(obj)
+    except codec.CodecError:
+        return pickle.dumps(obj)
+
+
+def _deserialise(data: bytes) -> Any:
+    from repro.runtime import codec
+    if data[:3] == codec.MAGIC:
+        return codec.decode(data)
+    return pickle.loads(data)
 
 
 @dataclass
@@ -54,7 +81,7 @@ class SecureChannel:
         even if keys collided (they cannot, but defence in depth is free).
         """
         self._send_counter += 1
-        plaintext = pickle.dumps(
+        plaintext = _serialise(
             (self.local_key.to_bytes(), self._send_counter, payload)
         )
         return encrypt(self.keys, nonce_from_counter(self._send_counter),
@@ -69,7 +96,7 @@ class SecureChannel:
         the stream counter here would falsely flag the blob as a replay of
         the message that carries it."""
         self._blob_counter = getattr(self, "_blob_counter", 0) + 1
-        plaintext = pickle.dumps((self.local_key.to_bytes(), payload))
+        plaintext = _serialise((self.local_key.to_bytes(), payload))
         # High bit of the nonce prefix separates the blob namespace from
         # the message-stream namespace.
         nonce = b"\x80\x00\x00\x00" + self._blob_counter.to_bytes(8, "big")
@@ -82,7 +109,7 @@ class SecureChannel:
             plaintext = decrypt(self.keys, blob)
         except DecryptionError as exc:
             raise MessageAuthenticationError(str(exc)) from exc
-        sender_key_bytes, payload = pickle.loads(plaintext)
+        sender_key_bytes, payload = _deserialise(plaintext)
         if sender_key_bytes != self.remote_key.to_bytes():
             raise MessageAuthenticationError(
                 "blob sealed by an unexpected sender key"
@@ -99,7 +126,7 @@ class SecureChannel:
             plaintext = decrypt(self.keys, envelope)
         except DecryptionError as exc:
             raise MessageAuthenticationError(str(exc)) from exc
-        sender_key_bytes, counter, payload = pickle.loads(plaintext)
+        sender_key_bytes, counter, payload = _deserialise(plaintext)
         if sender_key_bytes != self.remote_key.to_bytes():
             raise MessageAuthenticationError(
                 "message sealed by an unexpected sender key"
@@ -160,3 +187,33 @@ def establish_secure_channel(
     channel_b = SecureChannel(local_key=enclave_b.public_key,
                               remote_key=enclave_a.public_key, keys=keys_b)
     return channel_a, channel_b
+
+
+def channel_from_quote(
+    enclave: Enclave,
+    peer_quote: Quote,
+    root_key: PublicKey,
+    expected_measurement: Optional[bytes] = None,
+    service: Optional[AttestationService] = None,
+) -> SecureChannel:
+    """One side of the handshake when the peer enclave lives in another
+    process: all we hold is its attestation quote, received off the wire.
+
+    The quote must bind the peer's DH identity key (``report_data`` equals
+    the quoted key) — without that check an attacker could splice a stale
+    quote from a different handshake onto a fresh key exchange.  Key
+    derivation is symmetric (:func:`derive_channel_keys` sorts the two
+    public keys into the KDF context), so when both sides run this against
+    each other's quotes they arrive at the same channel keys with no
+    further round trips.
+    """
+    measurement = expected_measurement or enclave.measurement
+    verify_quote(peer_quote, root_key, measurement, service=service)
+    if peer_quote.report_data != peer_quote.enclave_key.to_bytes():
+        raise AttestationError(
+            "quote does not bind the peer's channel key"
+        )
+    keys = derive_channel_keys(enclave.identity.private,
+                               peer_quote.enclave_key)
+    return SecureChannel(local_key=enclave.public_key,
+                         remote_key=peer_quote.enclave_key, keys=keys)

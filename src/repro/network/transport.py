@@ -24,7 +24,29 @@ Handler = Callable[["Message"], None]
 LatencyFn = Callable[[str, str], float]
 BandwidthFn = Callable[[str, str], Optional[float]]
 
-DEFAULT_MESSAGE_SIZE = 512  # bytes; typical signed protocol message
+DEFAULT_MESSAGE_SIZE = 512  # bytes; fallback when a payload is not encodable
+
+# Lazily-resolved ``repro.runtime.codec.encoded_size``.  The import happens
+# on first use, not at module load: the codec registers every protocol
+# dataclass, and importing it here would drag the whole protocol stack in
+# under ``repro.network``.
+_encoded_size: Optional[Callable[[Any], Optional[int]]] = None
+
+
+def payload_size(payload: Any) -> int:
+    """Wire size of ``payload`` per the runtime codec.
+
+    Falls back to :data:`DEFAULT_MESSAGE_SIZE` for payloads with no wire
+    encoding (test doubles, in-process-only objects), so DES bandwidth and
+    serialisation-delay accounting reflects real message sizes whenever it
+    can.
+    """
+    global _encoded_size
+    if _encoded_size is None:
+        from repro.runtime.codec import encoded_size
+        _encoded_size = encoded_size
+    size = _encoded_size(payload)
+    return size if size is not None else DEFAULT_MESSAGE_SIZE
 
 
 @dataclass(frozen=True)
@@ -59,6 +81,16 @@ class BaseNetwork:
 
     def unregister(self, name: str) -> None:
         self._handlers.pop(name, None)
+
+    def wrap_handler(self, name: str,
+                     wrap: Callable[[Handler], Handler]) -> None:
+        """Replace ``name``'s handler with ``wrap(original)``.
+
+        Lets a host interpose on deliveries (echo probes, fault injection)
+        without the endpoint re-registering.
+        """
+        original = self._handler_for(name)
+        self._handlers[name] = wrap(original)
 
     def is_registered(self, name: str) -> bool:
         return name in self._handlers
@@ -132,13 +164,16 @@ class Network(BaseNetwork):
         return self._latency(a, b)
 
     def send(self, sender: str, destination: str, payload: Any,
-             size: int = DEFAULT_MESSAGE_SIZE) -> None:
+             size: Optional[int] = None) -> None:
         """Deliver ``payload`` after the modelled delay.
 
-        The destination handler is resolved at delivery time, so a crash
-        (unregister) between send and delivery silently drops the message —
-        exactly what a dead host does.
+        ``size`` defaults to the payload's wire-codec length (see
+        :func:`payload_size`).  The destination handler is resolved at
+        delivery time, so a crash (unregister) between send and delivery
+        silently drops the message — exactly what a dead host does.
         """
+        if size is None:
+            size = payload_size(payload)
         message = Message(sender, destination, payload, size)
         if not self._account_send(message):
             return
@@ -171,7 +206,9 @@ class InstantNetwork(BaseNetwork):
         self.delivered: List[Message] = []
 
     def send(self, sender: str, destination: str, payload: Any,
-             size: int = DEFAULT_MESSAGE_SIZE) -> None:
+             size: Optional[int] = None) -> None:
+        if size is None:
+            size = payload_size(payload)
         message = Message(sender, destination, payload, size)
         if not self._account_send(message):
             return
@@ -184,15 +221,37 @@ class InstantNetwork(BaseNetwork):
         self._drain()
 
     def _drain(self) -> None:
+        """Deliver queued messages in FIFO order.
+
+        A handler that raises (or an endpoint that unregisters mid-drain)
+        must not wedge the network: every remaining queued message is still
+        delivered, and the first failure then surfaces as a
+        :class:`NetworkError` carrying the offending message — dropping it
+        silently would turn a protocol bug into a phantom packet loss.
+        """
         if self._draining:
             return
         self._draining = True
+        first_failure: Optional[Tuple[Message, BaseException]] = None
         try:
             while self._queue:
                 message = self._queue.popleft()
                 handler = self._handlers.get(message.destination)
-                if handler is not None:
-                    self.delivered.append(message)
+                if handler is None:
+                    continue
+                self.delivered.append(message)
+                try:
                     handler(message)
+                except Exception as exc:  # noqa: BLE001 — isolate handlers
+                    if first_failure is None:
+                        first_failure = (message, exc)
         finally:
             self._draining = False
+        if first_failure is not None:
+            message, exc = first_failure
+            error = NetworkError(
+                f"handler for {message.destination!r} failed on message "
+                f"from {message.sender!r}: {exc}"
+            )
+            error.message = message
+            raise error from exc

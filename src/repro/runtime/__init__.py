@@ -1,0 +1,25 @@
+"""Live deployment runtime (DESIGN.md S19).
+
+Everything under :mod:`repro.runtime` exists to run the simulator's pure
+protocol state machines as real networked processes:
+
+* :mod:`repro.runtime.codec` — versioned, length-prefixed wire format with
+  a registry covering every protocol message dataclass;
+* :mod:`repro.runtime.wallclock` — a wall-clock shim satisfying the
+  :class:`~repro.simulation.scheduler.Scheduler` interface protocol code
+  relies on;
+* :mod:`repro.runtime.transport` — ``AsyncTcpNetwork``, an asyncio TCP
+  implementation of the :class:`~repro.network.transport.BaseNetwork`
+  interface;
+* :mod:`repro.runtime.daemon` — a node daemon hosting one
+  :class:`~repro.core.node.TeechainNode` with a line-JSON control API;
+* :mod:`repro.runtime.cli` — ``python -m repro.runtime`` entry points.
+
+Only the codec is imported eagerly: the daemon pulls in the full protocol
+stack, and :mod:`repro.network.secure_channel` imports the codec, so the
+package root must stay import-light to avoid cycles.
+"""
+
+from repro.runtime import codec
+
+__all__ = ["codec"]

@@ -1,0 +1,112 @@
+"""``python -m repro.runtime`` — serve a node daemon or drive one.
+
+Serve a two-party network (run each in its own terminal)::
+
+    python -m repro.runtime serve --name alice --port 9401 \\
+        --control-port 9501 --fund alice=200000 --fund bob=200000
+    python -m repro.runtime serve --name bob --port 9402 \\
+        --control-port 9502 --fund alice=200000 --fund bob=200000
+
+Then drive them over the control API::
+
+    python -m repro.runtime call 127.0.0.1:9501 connect \\
+        peer=bob host=127.0.0.1 port=9402
+    python -m repro.runtime call 127.0.0.1:9501 open-channel peer=bob
+    python -m repro.runtime call 127.0.0.1:9501 deposit value=50000
+    python -m repro.runtime call 127.0.0.1:9501 pay \\
+        channel_id=chan-alice-bob-1 amount=100
+
+``call`` arguments are ``key=value`` pairs; values that parse as
+integers are sent as integers, everything else as strings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import logging
+import sys
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.runtime.control import ControlClient
+from repro.runtime.daemon import serve
+
+
+def _parse_fund(values: List[str]) -> Dict[str, int]:
+    allocations: Dict[str, int] = {}
+    for item in values:
+        name, _, amount = item.partition("=")
+        if not name or not amount:
+            raise ReproError(f"--fund expects name=amount, got {item!r}")
+        allocations[name] = int(amount)
+    return allocations
+
+
+def _parse_call_args(pairs: List[str]) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator:
+            raise ReproError(f"call arguments are key=value, got {pair!r}")
+        kwargs[key.replace("-", "_")] = int(value) if value.isdigit() else value
+    return kwargs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Live Teechain node daemon and control CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve_cmd = commands.add_parser("serve", help="run a node daemon")
+    serve_cmd.add_argument("--name", required=True,
+                           help="node name (determines the wallet seed)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=0,
+                           help="peer port (0 = OS-assigned)")
+    serve_cmd.add_argument("--control-port", type=int, default=0)
+    serve_cmd.add_argument("--fund", action="append", default=[],
+                           metavar="NAME=AMOUNT",
+                           help="genesis allocation; repeat per participant, "
+                                "identical across all daemons")
+    serve_cmd.add_argument("--log-level", default="WARNING")
+
+    call_cmd = commands.add_parser("call", help="send one control command")
+    call_cmd.add_argument("target", help="control address, host:port")
+    call_cmd.add_argument("cmd", help="command name (e.g. open-channel)")
+    call_cmd.add_argument("args", nargs="*", metavar="key=value")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "serve":
+        logging.basicConfig(level=arguments.log_level.upper())
+        allocations = _parse_fund(arguments.fund)
+        try:
+            asyncio.run(serve(
+                arguments.name, arguments.host, arguments.port,
+                arguments.control_port, allocations,
+            ))
+        except KeyboardInterrupt:
+            pass
+        return 0
+    if arguments.command == "call":
+        host, _, port = arguments.target.rpartition(":")
+        with ControlClient(host or "127.0.0.1", int(port)) as client:
+            try:
+                response = client.call(arguments.cmd,
+                                       **_parse_call_args(arguments.args))
+            except ReproError as exc:
+                print(json.dumps({"ok": False, "error": str(exc)}))
+                return 1
+        print(json.dumps({"ok": True, **response}, indent=2))
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Synchronous client for the daemon's line-JSON control API.
+
+Used by the CLI, the live tests, and the loopback benchmark — all of
+which run *outside* the daemon's event loop, so a plain blocking socket
+is the right tool.  One request object per line out, one response object
+per line back, strictly in order.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+
+
+class ControlError(ReproError):
+    """The daemon reported a command failure (its ``error`` string)."""
+
+
+class ControlClient:
+    """Blocking line-JSON client with call semantics.
+
+    Usable as a context manager; ``call`` raises :class:`ControlError`
+    when the daemon answers ``ok: false`` and returns the rest of the
+    response object otherwise.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._socket.settimeout(timeout)
+        self._reader = self._socket.makefile("rb")
+
+    def call(self, cmd: str, **kwargs: Any) -> Dict[str, Any]:
+        request = {"cmd": cmd, **kwargs}
+        self._socket.sendall(json.dumps(request).encode() + b"\n")
+        line = self._reader.readline()
+        if not line:
+            raise ControlError(f"daemon at {self.host}:{self.port} hung up")
+        response = json.loads(line)
+        if not response.pop("ok", False):
+            raise ControlError(response.get("error", "unknown daemon error"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ControlClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def wait_for_control(host: str, port: int, timeout: float = 15.0,
+                     interval: float = 0.05) -> ControlClient:
+    """Poll until a daemon's control port accepts a ``ping``.
+
+    Daemons started as subprocesses need a beat to bind their listeners;
+    this is the launcher's readiness check.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            client = ControlClient(host, port, timeout=timeout)
+            client.call("ping")
+            return client
+        except (OSError, ReproError) as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise ControlError(
+        f"no daemon on {host}:{port} after {timeout}s: {last_error}"
+    )

@@ -1,0 +1,553 @@
+"""The node daemon: one Teechain participant as a networked process.
+
+A :class:`NodeDaemon` hosts a :class:`~repro.core.node.TeechainNode`
+unchanged — same enclave, same protocol code — and supplies the live
+versions of everything the simulator provided for free:
+
+* **time** — a :class:`~repro.runtime.wallclock.WallClockScheduler`;
+* **transport** — an :class:`~repro.runtime.transport.AsyncTcpNetwork`,
+  with peer handshakes that exchange attestation quotes so secure
+  channels are derived without both enclaves in one process;
+* **the blockchain** — every daemon holds a replica of the simulated
+  chain, made identical by construction (deterministic genesis from the
+  shared ``--fund`` allocation) and kept identical by gossip
+  (:class:`ChainTx` on submit, :class:`ChainMine` on block);
+* **a control plane** — a line-JSON TCP API (one request object per
+  line, one response per line) driven by the CLI, tests, and benchmarks.
+
+Ordering is the delicate part of channel opening over real sockets:
+secure-channel replay counters forbid redelivering an envelope, so the
+initiator's ``new_pay_channel`` ecall runs *without* pumping its outbox —
+the acknowledgement is held until the responder's own ack arrives (the
+per-peer FIFO guarantees the responder created its channel record first),
+at which point the delivery path's pump flushes it.  A real host would
+buffer the early ack; deferring the pump models that without a retry
+queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.script import LockingScript
+from repro.blockchain.transaction import OutPoint, Transaction
+from repro.core.deposits import DepositRecord
+from repro.core.node import TeechainNetwork, TeechainNode
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.errors import BlockchainError, ReproError
+from repro.network.secure_channel import channel_from_quote
+from repro.obs import MetricsRegistry, set_metrics
+from repro.runtime.messages import (
+    ChainMine,
+    ChainTx,
+    Echo,
+    Envelope,
+    Hello,
+    HelloAck,
+    OpenChannel,
+    OpenChannelOk,
+)
+from repro.runtime.transport import AsyncTcpNetwork
+from repro.runtime.wallclock import WallClockScheduler
+
+logger = logging.getLogger(__name__)
+
+
+def make_genesis(chain: Blockchain, allocations: Dict[str, int]) -> None:
+    """Mint the shared genesis block.
+
+    Every daemon is started with the same ``--fund`` allocation and
+    wallets are seed-derived from node names, so minting in sorted-name
+    order produces byte-identical coinbases (same nonces, same txids) in
+    every process — the replicas agree from block 1 without any exchange.
+    """
+    for name in sorted(allocations):
+        wallet = KeyPair.from_seed(f"wallet:{name}".encode())
+        chain.mint(LockingScript.pay_to_address(wallet.address()),
+                   allocations[name])
+    chain.mine_block(timestamp=0.0)
+
+
+class NodeDaemon:
+    """One live Teechain participant plus its control server."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        control_port: int = 0,
+        allocations: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.name = name
+        self.allocations = dict(allocations or {})
+        # Installed before any component caches get_metrics().
+        self.metrics = MetricsRegistry()
+        set_metrics(self.metrics)
+
+        self.scheduler = WallClockScheduler()
+        chain = Blockchain()
+        make_genesis(chain, self.allocations)
+        self.net = AsyncTcpNetwork(name, host=host, port=port)
+        self.network = TeechainNetwork(
+            transport=self.net, scheduler=self.scheduler, chain=chain
+        )
+        self.node: TeechainNode = self.network.create_node(name)
+        for participant, amount in self.allocations.items():
+            self.network.tracker.register(participant, amount)
+
+        self.control_host = host
+        self.control_port = control_port
+        self._control_server: Optional[asyncio.AbstractServer] = None
+
+        self._peer_keys: Dict[str, PublicKey] = {}
+        self._peer_addresses: Dict[str, str] = {}
+        self._pending_opens: Dict[str, asyncio.Event] = {}
+        self._echo_futures: Dict[int, asyncio.Future] = {}
+        self._echo_seq = 0
+        self._opening = 0
+        self._applying_remote = False
+        self._deposits: Dict[str, DepositRecord] = {}
+        self._shutdown = asyncio.Event()
+        self._pump_task: Optional[asyncio.Task] = None
+
+        self.net.hello_factory = self._make_hello
+        self.net.hello_handler = self._on_hello
+        self.net.hello_ack_handler = self._on_hello_ack
+        self.net.control_handler = self._on_control
+        chain.subscribe_submit(self._gossip_submit)
+        chain.subscribe(self._gossip_block)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[int, int]:
+        """Bind both listeners; returns (peer port, control port)."""
+        _, port = await self.net.start()
+        self._control_server = await asyncio.start_server(
+            self._serve_control, self.control_host, self.control_port
+        )
+        self.control_port = self._control_server.sockets[0].getsockname()[1]
+        self._pump_task = asyncio.get_event_loop().create_task(
+            self._pump_loop(), name=f"pump:{self.name}"
+        )
+        logger.info("%s: peers on %s:%d, control on %s:%d",
+                    self.name, self.net.host, port,
+                    self.control_host, self.control_port)
+        return port, self.control_port
+
+    async def run_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+        await self.net.stop()
+        if self._control_server is not None:
+            self._control_server.close()
+            await self._control_server.wait_closed()
+
+    async def _pump_loop(self) -> None:
+        # Safety net for timer-driven enclave output; held open while a
+        # channel open is in flight (see module docstring).
+        while True:
+            await asyncio.sleep(0.025)
+            if self._opening == 0:
+                self.node._pump()
+
+    async def _wait_for(self, predicate: Callable[[], bool],
+                        timeout: float = 10.0, what: str = "condition") -> None:
+        deadline = time.monotonic() + timeout
+        while not predicate():
+            if time.monotonic() > deadline:
+                raise ReproError(f"{self.name}: timed out waiting for {what}")
+            await asyncio.sleep(0.01)
+
+    # ------------------------------------------------------------------
+    # Peer handshake: quotes over the wire → secure channels
+    # ------------------------------------------------------------------
+
+    def _make_hello(self) -> Hello:
+        return Hello(
+            name=self.name,
+            host=self.net.host,
+            port=self.net.port,
+            settlement_address=self.node.address,
+            quote=self._my_quote(),
+        )
+
+    def _my_quote(self):
+        enclave = self.node.enclave
+        return self.network.attestation.quote(
+            enclave, report_data=enclave.public_key.to_bytes()
+        )
+
+    def _install_peer(self, name: str, settlement_address: str, quote) -> None:
+        if quote.enclave_key.to_bytes() not in self.node.program.secure_channels:
+            channel = channel_from_quote(
+                self.node.enclave, quote,
+                self.network.attestation.root_key,
+                service=self.network.attestation,
+            )
+            self.node.enclave.ecall("install_secure_channel", channel, name)
+        self._peer_keys[name] = quote.enclave_key
+        self._peer_addresses[name] = settlement_address
+
+    def _on_hello(self, hello: Hello) -> HelloAck:
+        self._install_peer(hello.name, hello.settlement_address, hello.quote)
+        # Dial back so we can send; a no-op if the link already exists.
+        self.net.add_peer(hello.name, hello.host, hello.port)
+        return HelloAck(name=self.name, settlement_address=self.node.address,
+                        quote=self._my_quote())
+
+    def _on_hello_ack(self, ack: HelloAck) -> None:
+        self._install_peer(ack.name, ack.settlement_address, ack.quote)
+
+    # ------------------------------------------------------------------
+    # Blockchain replication
+    # ------------------------------------------------------------------
+
+    def _gossip_submit(self, transaction: Transaction) -> None:
+        if self._applying_remote:
+            return
+        for peer in self.net.peer_names():
+            self.net.send_control(peer, ChainTx(transaction))
+
+    def _gossip_block(self, block) -> None:
+        if self._applying_remote:
+            return
+        announcement = ChainMine(
+            txids=tuple(tx.txid for tx in block.transactions),
+            height=block.height,
+        )
+        for peer in self.net.peer_names():
+            self.net.send_control(peer, announcement)
+
+    def _apply_remote_tx(self, transaction: Transaction) -> None:
+        self._applying_remote = True
+        try:
+            self.network.chain.submit(transaction)
+        except BlockchainError as exc:
+            # A conflicting local transaction won the race; real mempools
+            # disagree transiently too.  The mine announcement reconciles.
+            logger.warning("%s: rejected gossiped tx %s: %s",
+                           self.name, transaction.txid[:12], exc)
+        finally:
+            self._applying_remote = False
+
+    def _apply_remote_mine(self, announcement: ChainMine) -> None:
+        chain = self.network.chain
+        confirmed = all(chain.contains(txid) for txid in announcement.txids)
+        if confirmed and chain.height >= announcement.height:
+            return  # concurrent local mine already covered this block
+        self._applying_remote = True
+        try:
+            chain.mine_block(timestamp=self.scheduler.now)
+        finally:
+            self._applying_remote = False
+        missing = [txid for txid in announcement.txids
+                   if not chain.contains(txid)]
+        if missing:
+            logger.warning("%s: chain divergence — %d announced txids "
+                           "missing after mine", self.name, len(missing))
+
+    # ------------------------------------------------------------------
+    # Control-plane frames from peers
+    # ------------------------------------------------------------------
+
+    def _on_control(self, obj: Any, peer_name: Optional[str]) -> None:
+        if isinstance(obj, ChainTx):
+            self._apply_remote_tx(obj.transaction)
+        elif isinstance(obj, ChainMine):
+            self._apply_remote_mine(obj)
+        elif isinstance(obj, OpenChannel):
+            self._on_open_channel(obj)
+        elif isinstance(obj, OpenChannelOk):
+            self.node.channels[obj.channel_id] = obj.responder
+            event = self._pending_opens.get(obj.channel_id)
+            if event is not None:
+                event.set()
+        elif isinstance(obj, Echo):
+            self._on_echo(obj)
+        else:
+            logger.warning("%s: unknown control frame %s",
+                           self.name, type(obj).__name__)
+
+    def _on_open_channel(self, request: OpenChannel) -> None:
+        peer_key = self._peer_keys.get(request.initiator)
+        if peer_key is None:
+            logger.warning("%s: OpenChannel from unknown peer %r",
+                           self.name, request.initiator)
+            return
+        # Ecall + pump: our NewChannelAck goes on the wire now, and the
+        # initiator's held ack follows once ours is processed there.
+        self.node._ecall(
+            "new_pay_channel", request.channel_id, peer_key,
+            request.settlement_address, self.node.address,
+        )
+        self.node.channels[request.channel_id] = request.initiator
+        self.net.send_control(
+            request.initiator,
+            OpenChannelOk(channel_id=request.channel_id, responder=self.name,
+                          settlement_address=self.node.address),
+        )
+
+    def _on_echo(self, echo: Echo) -> None:
+        if not echo.reply:
+            self.net.send_control(
+                echo.origin, Echo(seq=echo.seq, origin=echo.origin, reply=True)
+            )
+            return
+        future = self._echo_futures.pop(echo.seq, None)
+        if future is not None and not future.done():
+            future.set_result(time.perf_counter())
+
+    async def _echo_round_trip(self, peer: str,
+                               timeout: float = 10.0) -> float:
+        """Seconds until the peer has processed everything we sent before
+        this call (FIFO barrier + latency probe in one)."""
+        self._echo_seq += 1
+        seq = self._echo_seq
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._echo_futures[seq] = future
+        started = time.perf_counter()
+        self.net.send_control(peer, Echo(seq=seq, origin=self.name))
+        finished = await asyncio.wait_for(future, timeout)
+        return finished - started
+
+    # ------------------------------------------------------------------
+    # Operations (driven by the control API)
+    # ------------------------------------------------------------------
+
+    async def connect(self, peer: str, host: str, port: int,
+                      timeout: float = 10.0) -> Dict[str, Any]:
+        self.net.add_peer(peer, host, port)
+        await self.net.wait_connected(peer, timeout)
+        await self._wait_for(lambda: peer in self._peer_keys, timeout,
+                             f"attestation handshake with {peer}")
+        return {"peer": peer, "attested": True}
+
+    async def open_channel(self, peer: str,
+                           channel_id: Optional[str] = None,
+                           timeout: float = 10.0) -> Dict[str, Any]:
+        if peer not in self._peer_keys:
+            raise ReproError(f"not connected to {peer!r}")
+        cid = channel_id or self.network.next_channel_id(self.name, peer)
+        event = asyncio.Event()
+        self._pending_opens[cid] = event
+        self._opening += 1
+        try:
+            # Direct ecall, NOT node._ecall: the ack must stay in the
+            # outbox until the responder's ack arrives (module docstring).
+            self.node.enclave.ecall(
+                "new_pay_channel", cid, self._peer_keys[peer],
+                self._peer_addresses[peer], self.node.address,
+            )
+            self.net.send_control(
+                peer, OpenChannel(channel_id=cid, initiator=self.name,
+                                  settlement_address=self.node.address),
+            )
+            await asyncio.wait_for(event.wait(), timeout)
+        finally:
+            self._opening -= 1
+            self._pending_opens.pop(cid, None)
+        self.node.channels[cid] = peer
+        # Barrier: the peer has processed our (now flushed) ack.
+        await self._echo_round_trip(peer, timeout)
+        return {"channel_id": cid, "peer": peer}
+
+    async def deposit(self, value: int) -> Dict[str, Any]:
+        record = self.node.create_deposit(value, confirm=True)
+        self._deposits[record.outpoint.txid] = record
+        return {"txid": record.outpoint.txid,
+                "index": record.outpoint.index, "value": value}
+
+    async def approve_associate(self, peer: str, channel_id: str,
+                                txid: str, timeout: float = 10.0) -> Dict[str, Any]:
+        record = self._deposits.get(txid)
+        if record is None:
+            raise ReproError(f"no deposit with txid {txid[:12]}…")
+        peer_key = self._peer_keys[peer]
+        key_bytes = peer_key.to_bytes()
+        program = self.node.program
+        approved = program.approved_deposits.get(key_bytes, set())
+        if record.outpoint not in approved:
+            self.node._ecall("approve_my_deposit", peer_key, record.outpoint)
+            await self._wait_for(
+                lambda: record.outpoint in program.approved_deposits.get(
+                    key_bytes, set()),
+                timeout, "deposit approval",
+            )
+        self.node._ecall("associate_deposit", channel_id, record.outpoint)
+        await self._echo_round_trip(peer, timeout)
+        snapshot = self.node.program.channel_snapshot(channel_id)
+        return {"channel_id": channel_id, "txid": txid,
+                "my_balance": snapshot["my_balance"],
+                "remote_balance": snapshot["remote_balance"]}
+
+    async def pay(self, channel_id: str, amount: int) -> Dict[str, Any]:
+        self.node.pay(channel_id, amount)
+        snapshot = self.node.program.channel_snapshot(channel_id)
+        return {"channel_id": channel_id, "amount": amount,
+                "my_balance": snapshot["my_balance"],
+                "remote_balance": snapshot["remote_balance"]}
+
+    async def bench_pay(self, channel_id: str, amount: int,
+                        count: int, timeout: float = 120.0) -> Dict[str, Any]:
+        """Throughput probe: ``count`` payments, timed until the peer has
+        processed the last one (echo barrier), not merely until enqueued."""
+        peer = self.node.channels[channel_id]
+        started = time.perf_counter()
+        for index in range(count):
+            self.node.pay(channel_id, amount)
+            if index % 64 == 63:
+                await asyncio.sleep(0)  # let the writer drain the queue
+        await self._echo_round_trip(peer, timeout)
+        elapsed = time.perf_counter() - started
+        return {"count": count, "elapsed_s": elapsed,
+                "payments_per_s": count / elapsed if elapsed else 0.0}
+
+    async def bench_latency(self, channel_id: str, amount: int,
+                            count: int, timeout: float = 30.0) -> Dict[str, Any]:
+        """Latency probe: per-payment round trips (pay + echo barrier)."""
+        peer = self.node.channels[channel_id]
+        samples: List[float] = []
+        for _ in range(count):
+            started = time.perf_counter()
+            self.node.pay(channel_id, amount)
+            await self._echo_round_trip(peer, timeout)
+            samples.append(time.perf_counter() - started)
+        ordered = sorted(samples)
+        return {
+            "count": count,
+            "mean_s": sum(samples) / len(samples),
+            "p50_s": ordered[len(ordered) // 2],
+            "p95_s": ordered[int(len(ordered) * 0.95)],
+            "min_s": ordered[0],
+            "max_s": ordered[-1],
+        }
+
+    async def settle(self, channel_id: str) -> Dict[str, Any]:
+        peer = self.node.channels.get(channel_id)
+        transaction = self.node.settle(channel_id)
+        if transaction is not None:
+            self.network.mine()
+        if peer is not None:
+            await self._echo_round_trip(peer)
+        return {"channel_id": channel_id,
+                "txid": transaction.txid if transaction else None,
+                "offchain": transaction is None}
+
+    # ------------------------------------------------------------------
+    # Control server (line JSON)
+    # ------------------------------------------------------------------
+
+    async def _serve_control(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    result = await self._dispatch_command(request)
+                    response = {"ok": True, **result}
+                except Exception as exc:  # noqa: BLE001 — report, don't die
+                    response = {"ok": False,
+                                "error": f"{type(exc).__name__}: {exc}"}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except asyncio.CancelledError:
+            return  # loop teardown at shutdown; exit without the log noise
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch_command(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        command = request.get("cmd")
+        if command == "ping":
+            return {"name": self.name, "now": self.scheduler.now}
+        if command == "connect":
+            return await self.connect(request["peer"], request["host"],
+                                      int(request["port"]))
+        if command == "open-channel":
+            return await self.open_channel(request["peer"],
+                                           request.get("channel_id"))
+        if command == "deposit":
+            return await self.deposit(int(request["value"]))
+        if command == "approve-associate":
+            return await self.approve_associate(
+                request["peer"], request["channel_id"], request["txid"]
+            )
+        if command == "pay":
+            return await self.pay(request["channel_id"], int(request["amount"]))
+        if command == "bench-pay":
+            return await self.bench_pay(
+                request["channel_id"], int(request.get("amount", 1)),
+                int(request["count"]),
+            )
+        if command == "bench-latency":
+            return await self.bench_latency(
+                request["channel_id"], int(request.get("amount", 1)),
+                int(request["count"]),
+            )
+        if command == "echo":
+            rtt = await self._echo_round_trip(request["peer"])
+            return {"peer": request["peer"], "rtt_s": rtt}
+        if command == "settle":
+            return await self.settle(request["channel_id"])
+        if command == "mine":
+            self.network.mine()
+            return {"height": self.network.chain.height}
+        if command == "balance":
+            return {"name": self.name,
+                    "onchain": self.node.onchain_balance()}
+        if command == "channel":
+            snapshot = self.node.program.channel_snapshot(request["channel_id"])
+            return {
+                "channel_id": snapshot["channel_id"],
+                "is_open": snapshot["is_open"],
+                "my_balance": snapshot["my_balance"],
+                "remote_balance": snapshot["remote_balance"],
+                "my_deposits": [f"{o.txid}:{o.index}"
+                                for o in snapshot["my_deposits"]],
+                "remote_deposits": [f"{o.txid}:{o.index}"
+                                    for o in snapshot["remote_deposits"]],
+            }
+        if command == "stats":
+            return {
+                "name": self.name,
+                "transport": self.net.stats(),
+                "chain": {"height": self.network.chain.height,
+                          "mempool": self.network.chain.mempool_size()},
+                "uptime_s": self.scheduler.now,
+            }
+        if command == "metrics":
+            return {"metrics": self.metrics.snapshot()}
+        if command == "shutdown":
+            self._shutdown.set()
+            return {"stopping": True}
+        raise ReproError(f"unknown command {command!r}")
+
+
+async def serve(name: str, host: str, port: int, control_port: int,
+                allocations: Dict[str, int],
+                announce: bool = True) -> None:
+    """Run a daemon until its control API receives ``shutdown``."""
+    daemon = NodeDaemon(name, host=host, port=port,
+                        control_port=control_port, allocations=allocations)
+    peer_port, ctrl_port = await daemon.start()
+    if announce:
+        # Machine-readable startup line so launchers can scrape the ports.
+        print(json.dumps({"name": name, "host": host, "port": peer_port,
+                          "control_port": ctrl_port}), flush=True)
+    await daemon.run_until_shutdown()

@@ -1,0 +1,121 @@
+"""Control-plane messages for the live runtime (wire tags 50–69).
+
+These ride the same codec as the protocol messages but never enter an
+enclave: they are host-to-host traffic — peer handshakes, channel-open
+coordination, and simulated-blockchain gossip between daemon processes.
+Protocol payloads (sealed envelopes) stay opaque bytes inside
+:class:`Envelope`; the runtime cannot read them even though it carries
+them, mirroring the paper's untrusted-host model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.blockchain.transaction import Transaction
+from repro.runtime import codec
+from repro.tee.attestation import Quote
+
+
+@dataclass(frozen=True)
+class Hello:
+    """First frame on a peer connection: who I am and my enclave's quote.
+
+    ``report_data`` inside the quote binds the enclave's channel (identity)
+    public key, so the receiver can run
+    :func:`~repro.network.secure_channel.channel_from_quote` without any
+    further round trip."""
+
+    name: str
+    host: str
+    port: int
+    settlement_address: str
+    quote: Quote
+
+
+@dataclass(frozen=True)
+class HelloAck:
+    """Handshake response: the responder's identity and quote."""
+
+    name: str
+    settlement_address: str
+    quote: Quote
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A sealed protocol message in transit between two endpoints.
+
+    ``payload`` is normally the secure-channel ciphertext, carried opaque;
+    ``encoded`` marks the rare non-bytes payload shipped as a nested codec
+    frame instead.  The runtime routes on the cleartext sender/destination
+    names exactly as ``BaseNetwork`` does in-process."""
+
+    sender: str
+    destination: str
+    payload: bytes
+    encoded: bool = False
+
+
+@dataclass(frozen=True)
+class OpenChannel:
+    """Host A asks host B to instruct B's enclave to open ``channel_id``.
+
+    Carries the initiator's settlement address — each side's
+    ``new_pay_channel`` ecall needs both addresses (Alg. 1)."""
+
+    channel_id: str
+    initiator: str
+    settlement_address: str
+
+
+@dataclass(frozen=True)
+class OpenChannelOk:
+    """Responder's confirmation that its enclave created the channel
+    record (its NewChannelAck is already on the wire ahead of this)."""
+
+    channel_id: str
+    responder: str
+    settlement_address: str
+
+
+@dataclass(frozen=True)
+class ChainTx:
+    """Mempool gossip: a transaction accepted by the sender's local copy
+    of the simulated blockchain."""
+
+    transaction: Transaction
+
+
+@dataclass(frozen=True)
+class ChainMine:
+    """Block gossip: the sender mined a block containing ``txids``.
+
+    Every daemon applies the same mine against its own mempool replica;
+    txids are carried for a divergence check, not for state transfer."""
+
+    txids: Tuple[str, ...]
+    height: int
+
+
+@dataclass(frozen=True)
+class Echo:
+    """Latency probe.  Because control frames share the per-peer FIFO with
+    protocol envelopes, an ``Echo`` sent right after a payment is only
+    answered once the peer has processed that payment — its round trip is
+    an honest payment-latency sample."""
+
+    seq: int
+    origin: str
+    reply: bool = False
+
+
+codec.register_dataclass(50, Hello)
+codec.register_dataclass(51, HelloAck)
+codec.register_dataclass(52, Envelope)
+codec.register_dataclass(53, OpenChannel)
+codec.register_dataclass(54, OpenChannelOk)
+codec.register_dataclass(55, ChainTx)
+codec.register_dataclass(56, ChainMine)
+codec.register_dataclass(57, Echo)

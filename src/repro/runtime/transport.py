@@ -1,0 +1,345 @@
+"""``AsyncTcpNetwork`` — the live counterpart of the DES transports.
+
+Implements the :class:`~repro.network.transport.BaseNetwork` interface
+over asyncio TCP so protocol code (``TeechainNode._pump`` in particular)
+is transport-agnostic: the same ``register``/``send`` calls that deliver
+synchronously under ``InstantNetwork`` put codec frames on real sockets
+here.
+
+Wire format: each frame is a 4-byte big-endian length followed by one
+codec-encoded object.  Three kinds of objects cross a peer connection —
+the :class:`~repro.runtime.messages.Hello`/``HelloAck`` handshake,
+:class:`~repro.runtime.messages.Envelope` (protocol traffic, routed to
+the registered endpoint handler), and anything else (control-plane
+gossip, handed to the host's control handler).
+
+Connections are per-direction: each side dials its own outbound link
+(with exponential backoff, so daemons can start in any order) and serves
+inbound frames on its listener.  Outbound frames wait in a bounded queue;
+when the queue is full the *newest* frame is dropped and counted — the
+live analogue of the DES adversary's suppression accounting.  A single
+queue carries both protocol and control frames, so cross-plane ordering
+(e.g. "enclave ack before OpenChannelOk") is preserved per peer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.network.transport import BaseNetwork, Message
+from repro.runtime import codec
+from repro.runtime.messages import Envelope, Hello, HelloAck
+
+logger = logging.getLogger(__name__)
+
+MAX_FRAME = 16 * 1024 * 1024  # sanity bound; a length prefix is attacker data
+_LEN = 4
+
+
+def _frame(obj: Any) -> bytes:
+    body = codec.encode(obj)
+    if len(body) > MAX_FRAME:
+        raise NetworkError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return len(body).to_bytes(_LEN, "big") + body
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> bytes:
+    header = await reader.readexactly(_LEN)
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME:
+        raise NetworkError(f"peer announced {length}-byte frame; refusing")
+    return await reader.readexactly(length)
+
+
+class _PeerLink:
+    """One outbound connection: dial with backoff, handshake, drain queue."""
+
+    def __init__(self, network: "AsyncTcpNetwork", name: str,
+                 host: str, port: int) -> None:
+        self.network = network
+        self.name = name
+        self.host = host
+        self.port = port
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=network.max_queue)
+        self.connected = asyncio.Event()
+        self.drops = 0
+        self.reconnects = 0
+        self.task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        self.task = asyncio.get_event_loop().create_task(
+            self._run(), name=f"link:{self.network.name}->{self.name}"
+        )
+
+    def enqueue(self, frame: bytes) -> bool:
+        try:
+            self.queue.put_nowait(frame)
+            return True
+        except asyncio.QueueFull:
+            self.drops += 1
+            if self.network._metrics.enabled:
+                self.network._metrics.inc("runtime.queue_drops")
+            logger.warning("%s->%s: outbound queue full, dropping frame",
+                           self.network.name, self.name)
+            return False
+
+    async def _run(self) -> None:
+        backoff = self.network.backoff_base
+        while True:
+            writer = None
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                await self._handshake(reader, writer)
+                backoff = self.network.backoff_base
+                self.connected.set()
+                while True:
+                    frame = await self.queue.get()
+                    writer.write(frame)
+                    await writer.drain()
+            except asyncio.CancelledError:
+                break
+            except (OSError, asyncio.IncompleteReadError,
+                    NetworkError, codec.CodecError) as exc:
+                self.connected.clear()
+                self.reconnects += 1
+                if self.network._metrics.enabled:
+                    self.network._metrics.inc("runtime.reconnects")
+                logger.debug("%s->%s: link down (%s); retry in %.2fs",
+                             self.network.name, self.name, exc, backoff)
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self.network.backoff_cap)
+            finally:
+                if writer is not None:
+                    writer.close()
+        self.connected.clear()
+
+    async def _handshake(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        hello = self.network.hello_factory()
+        if hello is None:
+            return  # host runs without attestation (bare transport tests)
+        writer.write(_frame(hello))
+        await writer.drain()
+        ack = codec.decode(await _read_frame(reader))
+        if not isinstance(ack, HelloAck):
+            raise NetworkError(
+                f"expected HelloAck, got {type(ack).__name__}"
+            )
+        handler = self.network.hello_ack_handler
+        if handler is not None:
+            handler(ack)
+
+    def stop(self) -> None:
+        if self.task is not None:
+            self.task.cancel()
+
+
+class AsyncTcpNetwork(BaseNetwork):
+    """Asyncio TCP transport with the ``BaseNetwork`` interface.
+
+    ``name`` identifies this host in handshakes; endpoints registered on
+    this network (normally just the local node) receive frames addressed
+    to them, everything else is routed to the outbound link matching the
+    destination name.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue: int = 1024,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        super().__init__()
+        self.name = name
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.frames_received = 0
+        self.bytes_received = 0
+        # Host hooks: the daemon wires these before start().
+        self.hello_factory: Callable[[], Optional[Hello]] = lambda: None
+        self.hello_handler: Optional[Callable[[Hello], Optional[HelloAck]]] = None
+        self.hello_ack_handler: Optional[Callable[[HelloAck], None]] = None
+        self.control_handler: Optional[Callable[[Any, Optional[str]], None]] = None
+        self._links: Dict[str, _PeerLink] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listener; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        for link in self._links.values():
+            link.stop()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def add_peer(self, name: str, host: str, port: int) -> None:
+        """Create (and start dialling) the outbound link to ``name``."""
+        if name in self._links:
+            return
+        link = _PeerLink(self, name, host, port)
+        self._links[name] = link
+        link.start()
+
+    def has_peer(self, name: str) -> bool:
+        return name in self._links
+
+    def peer_names(self) -> Tuple[str, ...]:
+        return tuple(self._links)
+
+    async def wait_connected(self, name: str, timeout: float = 10.0) -> None:
+        link = self._links.get(name)
+        if link is None:
+            raise NetworkError(f"no link to {name!r}")
+        await asyncio.wait_for(link.connected.wait(), timeout)
+
+    # ------------------------------------------------------------------
+    # Sending (BaseNetwork interface)
+    # ------------------------------------------------------------------
+
+    def send(self, sender: str, destination: str, payload: Any,
+             size: Optional[int] = None) -> None:
+        if isinstance(payload, (bytes, bytearray)):
+            envelope = Envelope(sender, destination, bytes(payload))
+        elif codec.encodable(payload):
+            # Non-bytes protocol payloads ride as a nested codec frame.
+            envelope = Envelope(sender, destination, codec.encode(payload),
+                                encoded=True)
+        else:
+            raise NetworkError(
+                f"payload of type {type(payload).__name__} has no wire "
+                "encoding; cannot send over TCP"
+            )
+        frame = _frame(envelope)
+        message = Message(sender, destination, payload,
+                          size if size is not None else len(frame))
+        if not self._account_send(message):
+            return
+        handler = self._handlers.get(destination)
+        if handler is not None:
+            # Local endpoint (loopback): deliver without touching a socket.
+            handler(message)
+            return
+        link = self._links.get(destination)
+        if link is None:
+            logger.warning("%s: no route to %r, dropping frame",
+                           self.name, destination)
+            if self._metrics.enabled:
+                self._metrics.inc("runtime.no_route_drops")
+            return
+        link.enqueue(frame)
+
+    def send_control(self, peer: str, obj: Any) -> None:
+        """Send a control-plane object (gossip, channel coordination)."""
+        link = self._links.get(peer)
+        if link is None:
+            raise NetworkError(f"no link to {peer!r}")
+        frame = _frame(obj)
+        message = Message(self.name, peer, obj, len(frame))
+        if not self._account_send(message):
+            return
+        link.enqueue(frame)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        peer_name: Optional[str] = None
+        try:
+            while True:
+                body = await _read_frame(reader)
+                self.frames_received += 1
+                self.bytes_received += len(body) + _LEN
+                obj = codec.decode(body)
+                if isinstance(obj, Hello):
+                    peer_name = obj.name
+                    if self.hello_handler is not None:
+                        ack = self.hello_handler(obj)
+                        if ack is not None:
+                            writer.write(_frame(ack))
+                            await writer.drain()
+                elif isinstance(obj, Envelope):
+                    self._dispatch(obj, len(body) + _LEN)
+                elif self.control_handler is not None:
+                    self.control_handler(obj, peer_name)
+                else:
+                    logger.warning("%s: unhandled control frame %s",
+                                   self.name, type(obj).__name__)
+        except asyncio.CancelledError:
+            return  # loop teardown at shutdown; exit without the log noise
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer closed; its link will redial if it has more to say
+        except (NetworkError, codec.CodecError) as exc:
+            logger.warning("%s: dropping connection from %s: %s",
+                           self.name, peer_name, exc)
+        finally:
+            writer.close()
+
+    def _dispatch(self, envelope: Envelope, wire_size: int) -> None:
+        handler = self._handlers.get(envelope.destination)
+        if handler is None:
+            logger.warning("%s: frame for unknown endpoint %r",
+                           self.name, envelope.destination)
+            return
+        payload: Any = envelope.payload
+        if envelope.encoded:
+            try:
+                payload = codec.decode(payload)
+            except codec.CodecError as exc:
+                logger.warning("%s: bad nested frame from %r: %s",
+                               self.name, envelope.sender, exc)
+                return
+        message = Message(envelope.sender, envelope.destination,
+                          payload, wire_size)
+        try:
+            handler(message)
+        except Exception:  # noqa: BLE001 — a handler bug must not kill I/O
+            logger.exception("%s: handler for %r failed",
+                             self.name, envelope.destination)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "listen": f"{self.host}:{self.port}",
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "messages_suppressed": self.messages_suppressed,
+            "frames_received": self.frames_received,
+            "bytes_received": self.bytes_received,
+            "peers": {
+                name: {
+                    "connected": link.connected.is_set(),
+                    "queued": link.queue.qsize(),
+                    "drops": link.drops,
+                    "reconnects": link.reconnects,
+                }
+                for name, link in self._links.items()
+            },
+        }

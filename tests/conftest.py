@@ -1,8 +1,38 @@
-"""Shared fixtures: funded nodes, channels, and multi-hop paths."""
+"""Shared fixtures: funded nodes, channels, and multi-hop paths.
+
+Also enforces per-test timeouts on ``live``-marked tests (real sockets
+and subprocesses): a wedged daemon must fail the test, not hang CI.
+SIGALRM keeps this dependency-free; on platforms without it (Windows)
+live tests simply run un-timed.
+"""
+
+import signal
 
 import pytest
 
 from repro.core.node import TeechainNetwork
+
+LIVE_TEST_TIMEOUT_S = 120
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("live")
+    use_alarm = marker is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+        timeout = int(marker.kwargs.get("timeout", LIVE_TEST_TIMEOUT_S))
+
+        def on_timeout(signum, frame):
+            raise TimeoutError(
+                f"live test exceeded {timeout}s (wedged daemon/socket?)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, on_timeout)
+        signal.alarm(timeout)
+    yield
+    if use_alarm:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -138,6 +138,127 @@ class TestTransport:
         assert "transport.messages[a->b]" not in counters
 
 
+class TestDrainRobustness:
+    """A raising handler (or mid-drain unregister) must not wedge the FIFO."""
+
+    def test_raising_handler_still_delivers_the_rest(self):
+        network = InstantNetwork()
+        got = []
+
+        def exploding(message):
+            got.append(("b", message.payload))
+            raise RuntimeError("handler bug")
+
+        network.register("b", exploding)
+        network.register("c", lambda m: got.append(("c", m.payload)))
+
+        def fan_out(message):
+            network.send("a", "b", "boom")
+            network.send("a", "c", "survivor")
+
+        network.register("a", fan_out)
+        with pytest.raises(NetworkError) as exc_info:
+            network.send("driver", "a", "go")
+        # Everything queued behind the failure was still delivered.
+        assert got == [("b", "boom"), ("c", "survivor")]
+        # The error carries the offending message and chains the cause.
+        assert exc_info.value.message.destination == "b"
+        assert exc_info.value.message.payload == "boom"
+        assert isinstance(exc_info.value.__cause__, RuntimeError)
+
+    def test_first_failure_wins_when_several_handlers_raise(self):
+        network = InstantNetwork()
+        network.register("b", lambda m: (_ for _ in ()).throw(
+            ValueError(f"bad {m.payload}")))
+
+        def fan_out(message):
+            network.send("a", "b", "first")
+            network.send("a", "b", "second")
+
+        network.register("a", fan_out)
+        with pytest.raises(NetworkError) as exc_info:
+            network.send("driver", "a", "go")
+        assert exc_info.value.message.payload == "first"
+
+    def test_unregister_mid_drain_skips_silently(self):
+        network = InstantNetwork()
+        got = []
+
+        def crash_then_more(message):
+            network.unregister("b")
+            network.send("a", "b", "into the void")
+            network.send("a", "c", "still alive")
+
+        network.register("a", crash_then_more)
+        network.register("b", lambda m: got.append(("b", m.payload)))
+        network.register("c", lambda m: got.append(("c", m.payload)))
+        network.send("driver", "a", "go")  # no exception
+        assert got == [("c", "still alive")]
+
+    def test_network_usable_after_a_drain_failure(self):
+        network = InstantNetwork()
+        network.register("b", lambda m: (_ for _ in ()).throw(
+            RuntimeError("once")))
+        with pytest.raises(NetworkError):
+            network.send("a", "b", "fails")
+        network.unregister("b")
+        got = []
+        network.register("b", lambda m: got.append(m.payload))
+        network.send("a", "b", "recovered")
+        assert got == ["recovered"]
+
+
+class TestPayloadSize:
+    """Message sizes come from the wire codec, not a hardcoded constant."""
+
+    def test_encodable_payload_gets_codec_size(self):
+        from repro.core.messages import Paid
+        from repro.network.transport import DEFAULT_MESSAGE_SIZE, payload_size
+        from repro.runtime import codec
+
+        paid = Paid(channel_id="chan", amount=7, sequence=1, batch_count=1)
+        assert payload_size(paid) == len(codec.encode(paid))
+        assert payload_size(paid) != DEFAULT_MESSAGE_SIZE
+
+    def test_unencodable_payload_falls_back_to_default(self):
+        from repro.network.transport import DEFAULT_MESSAGE_SIZE, payload_size
+
+        assert payload_size(object()) == DEFAULT_MESSAGE_SIZE
+
+    def test_send_without_size_uses_codec_length(self):
+        from repro.runtime import codec
+
+        network = InstantNetwork()
+        sizes = []
+        network.register("b", lambda m: sizes.append(m.size))
+        network.send("a", "b", b"\x00" * 100)
+        assert sizes == [len(codec.encode(b"\x00" * 100))]
+
+    def test_explicit_size_still_wins(self):
+        network = InstantNetwork()
+        sizes = []
+        network.register("b", lambda m: sizes.append(m.size))
+        network.send("a", "b", b"payload", size=9999)
+        assert sizes == [9999]
+
+
+class TestWrapHandler:
+    def test_wrap_interposes_without_reregistering(self):
+        network = InstantNetwork()
+        got = []
+        network.register("b", lambda m: got.append(("inner", m.payload)))
+        network.wrap_handler(
+            "b", lambda inner: lambda m: (got.append(("outer", m.payload)),
+                                          inner(m)))
+        network.send("a", "b", "x")
+        assert got == [("outer", "x"), ("inner", "x")]
+
+    def test_wrap_unknown_endpoint_raises(self):
+        network = InstantNetwork()
+        with pytest.raises(NetworkError):
+            network.wrap_handler("ghost", lambda inner: inner)
+
+
 class TestTopology:
     def test_fig3_rtts(self):
         topology = fig3_topology()

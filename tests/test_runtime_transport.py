@@ -1,0 +1,232 @@
+"""Runtime transport: the wall-clock scheduler shim and AsyncTcpNetwork.
+
+Socket tests are ``live``-marked (deselect with ``-m "not live"`` where
+loopback networking is unavailable); the wall-clock scheduler tests are
+plain unit tests.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import NetworkError, SimulationError
+from repro.runtime.messages import Echo
+from repro.runtime.transport import AsyncTcpNetwork
+from repro.runtime.wallclock import WallClockScheduler
+
+
+class TestWallClockScheduler:
+    def test_now_advances_with_real_time(self):
+        scheduler = WallClockScheduler()
+        first = scheduler.now
+        assert first >= 0.0
+        assert scheduler.now >= first
+        assert scheduler.clock.now >= first  # .clock shim for DES code
+
+    def test_zero_delay_runs_inline(self):
+        scheduler = WallClockScheduler()
+        ran = []
+        scheduler.call_after(0, lambda: ran.append(True))
+        # No event loop involved: the DES contract is that zero-delay
+        # events complete before control returns.
+        assert ran == [True]
+        assert scheduler.events_processed == 1
+
+    def test_negative_delay_rejected(self):
+        scheduler = WallClockScheduler()
+        with pytest.raises(SimulationError):
+            scheduler.call_after(-1, lambda: None)
+        with pytest.raises(SimulationError):
+            scheduler.call_at(scheduler.now - 10, lambda: None)
+
+    def test_positive_delay_fires_on_loop(self):
+        async def scenario():
+            scheduler = WallClockScheduler()
+            ran = asyncio.Event()
+            scheduler.call_after(0.01, ran.set)
+            await asyncio.wait_for(ran.wait(), 2.0)
+
+        asyncio.run(scenario())
+
+    def test_cancelled_timer_never_fires(self):
+        async def scenario():
+            scheduler = WallClockScheduler()
+            ran = []
+            handle = scheduler.call_after(0.01, lambda: ran.append(True))
+            handle.cancel()
+            await asyncio.sleep(0.05)
+            assert ran == []
+            assert scheduler.events_processed == 0
+
+        asyncio.run(scenario())
+
+    def test_run_is_a_noop(self):
+        scheduler = WallClockScheduler()
+        scheduler.run()
+        scheduler.run_until_idle()
+        assert scheduler.step() is False
+
+
+@pytest.mark.live
+class TestAsyncTcpNetwork:
+    def _pair(self):
+        """Two transports with a's outbound link dialled to b."""
+        a = AsyncTcpNetwork("a")
+        b = AsyncTcpNetwork("b")
+        return a, b
+
+    def test_envelope_crosses_a_real_socket(self):
+        async def scenario():
+            a, b = self._pair()
+            await a.start()
+            await b.start()
+            received = asyncio.Queue()
+            b.register("b", received.put_nowait)
+            a.add_peer("b", b.host, b.port)
+            await a.wait_connected("b", 5.0)
+            a.send("a", "b", b"sealed-bytes")
+            message = await asyncio.wait_for(received.get(), 5.0)
+            assert message.sender == "a"
+            assert message.destination == "b"
+            assert message.payload == b"sealed-bytes"
+            assert message.size > len(b"sealed-bytes")  # framing overhead
+            assert a.messages_sent == 1
+            assert b.frames_received == 1
+            await a.stop()
+            await b.stop()
+
+        asyncio.run(scenario())
+
+    def test_non_bytes_payload_rides_nested_frame(self):
+        async def scenario():
+            a, b = self._pair()
+            await a.start()
+            await b.start()
+            received = asyncio.Queue()
+            b.register("b", received.put_nowait)
+            a.add_peer("b", b.host, b.port)
+            a.send("a", "b", {"amount": 7, "ids": (1, 2)})
+            message = await asyncio.wait_for(received.get(), 5.0)
+            assert message.payload == {"amount": 7, "ids": (1, 2)}
+            await a.stop()
+            await b.stop()
+
+        asyncio.run(scenario())
+
+    def test_unencodable_payload_rejected(self):
+        async def scenario():
+            a, _ = self._pair()
+            await a.start()
+            with pytest.raises(NetworkError, match="no wire encoding"):
+                a.send("a", "b", object())
+            await a.stop()
+
+        asyncio.run(scenario())
+
+    def test_reconnect_with_backoff_when_peer_starts_late(self):
+        async def scenario():
+            a, b = self._pair()
+            await a.start()
+            # Dial before b exists: the link must retry, not die.
+            from repro.runtime.launch import free_port
+            port = free_port()
+            a.add_peer("b", "127.0.0.1", port)
+            a.send("a", "b", b"early")  # queued while dialling
+            await asyncio.sleep(0.2)
+            assert not a._links["b"].connected.is_set()
+            b.port = port
+            await b.start()
+            received = asyncio.Queue()
+            b.register("b", received.put_nowait)
+            await a.wait_connected("b", 5.0)
+            message = await asyncio.wait_for(received.get(), 5.0)
+            assert message.payload == b"early"
+            assert a._links["b"].reconnects >= 1
+            await a.stop()
+            await b.stop()
+
+        asyncio.run(scenario())
+
+    def test_bounded_queue_drops_when_full(self):
+        async def scenario():
+            a = AsyncTcpNetwork("a", max_queue=4)
+            await a.start()
+            from repro.runtime.launch import free_port
+            a.add_peer("b", "127.0.0.1", free_port())  # never connects
+            for _ in range(10):
+                a.send("a", "b", b"x")
+            link = a._links["b"]
+            assert link.queue.qsize() == 4
+            assert link.drops == 6
+            await a.stop()
+
+        asyncio.run(scenario())
+
+    def test_taps_suppress_before_the_wire(self):
+        async def scenario():
+            a, b = self._pair()
+            await a.start()
+            await b.start()
+            a.add_peer("b", b.host, b.port)
+            await a.wait_connected("b", 5.0)
+            a.add_tap(lambda message: False)  # adversary drops everything
+            a.send("a", "b", b"never-arrives")
+            assert a.messages_sent == 0
+            assert a.messages_suppressed == 1
+            assert a._links["b"].queue.qsize() == 0
+            await a.stop()
+            await b.stop()
+
+        asyncio.run(scenario())
+
+    def test_control_frames_share_fifo_with_envelopes(self):
+        async def scenario():
+            a, b = self._pair()
+            await a.start()
+            await b.start()
+            order = []
+            b.register("b", lambda message: order.append(("env",
+                                                          message.payload)))
+            b.control_handler = lambda obj, peer: order.append(("ctl", obj))
+            a.add_peer("b", b.host, b.port)
+            await a.wait_connected("b", 5.0)
+            a.send("a", "b", b"first")
+            a.send_control("b", Echo(seq=1, origin="a"))
+            a.send("a", "b", b"second")
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while len(order) < 3:
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.01)
+            assert order == [("env", b"first"),
+                             ("ctl", Echo(seq=1, origin="a")),
+                             ("env", b"second")]
+            await a.stop()
+            await b.stop()
+
+        asyncio.run(scenario())
+
+    def test_handler_exception_does_not_kill_the_reader(self):
+        async def scenario():
+            a, b = self._pair()
+            await a.start()
+            await b.start()
+            received = []
+
+            def flaky(message):
+                received.append(message.payload)
+                if message.payload == b"boom":
+                    raise RuntimeError("handler bug")
+
+            b.register("b", flaky)
+            a.add_peer("b", b.host, b.port)
+            a.send("a", "b", b"boom")
+            a.send("a", "b", b"after")
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while len(received) < 2:
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.01)
+            assert received == [b"boom", b"after"]
+            await a.stop()
+            await b.stop()
+
+        asyncio.run(scenario())
