@@ -1,0 +1,81 @@
+"""Crash fault matrix sweep: coverage and recovery cost, archived.
+
+Runs every (role × stage) crash cell of Algorithm 2 plus the two
+committee-loss scenarios under a live metrics registry, then writes the
+summary — per-cell verdicts and the full fault/recovery counter snapshot
+— to ``BENCH_fault_matrix.json``.  The chaos CI job uploads that sidecar
+as its artifact, so a red cell in a nightly run arrives with the exact
+counters that produced it.
+
+There is no paper column here: Teechain reports no fault-sweep numbers.
+The ``measured`` values are coverage counts and wall-clock cost, tracked
+release-over-release for regressions in recovery overhead.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.faults import (
+    ROLES,
+    STAGES,
+    run_committee_member_loss,
+    run_committee_primary_loss,
+    run_matrix,
+    summarise,
+)
+from repro.obs import NOOP, MetricsRegistry, set_metrics
+
+from conftest import report
+
+pytestmark = pytest.mark.chaos
+
+
+def test_fault_matrix_sweep():
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    try:
+        started = time.perf_counter()
+        cells = run_matrix()
+        matrix_elapsed = time.perf_counter() - started
+
+        started = time.perf_counter()
+        member = run_committee_member_loss()
+        primary = run_committee_primary_loss()
+        committee_elapsed = time.perf_counter() - started
+    finally:
+        set_metrics(NOOP)
+
+    summary = summarise(cells)
+    counters = metrics.snapshot()["counters"]
+    total_cells = len(ROLES) * len(STAGES)
+
+    results = [
+        ExperimentResult("fault matrix", "crash cells passed", "coverage",
+                         summary["ok"], total_cells, "cells"),
+        ExperimentResult("fault matrix", "faults injected", "count",
+                         counters.get("faults.injected[crash]", 0),
+                         None, "crashes"),
+        ExperimentResult("fault matrix", "recoveries", "count",
+                         counters.get("faults.recovered[restore]", 0),
+                         None, "restores"),
+        ExperimentResult("fault matrix", "matrix sweep", "wall clock",
+                         matrix_elapsed, None, "s"),
+        ExperimentResult("fault matrix", "committee loss cells", "wall clock",
+                         committee_elapsed, None, "s"),
+    ]
+    report(
+        "Crash fault matrix (role x stage sweep + committee loss)",
+        results,
+        sidecar="fault_matrix",
+        metrics=metrics,
+        extra={
+            "summary": summary,
+            "committee": {"member_loss": member, "primary_loss": primary},
+        },
+    )
+
+    assert summary["ok"] == summary["total"] == total_cells, summary["failed"]
+    assert member["ok"], member["violations"]
+    assert primary["ok"], primary["violations"]

@@ -92,6 +92,12 @@ class ChannelProtocol(EnclaveProgram):
         # appDeps(K): deposits approved between us and peer K (both our
         # deposits they approved and their deposits we approved).
         self.approved_deposits: Dict[bytes, Set[OutPoint]] = {}
+        # Session salts of secure channels this enclave has retired, per
+        # remote identity key.  A re-handshake (peer or self restart) may
+        # only move to a salt never used before — replaying a recorded
+        # handshake would otherwise resurrect old channel keys with reset
+        # counters, re-opening the replay window the counters close.
+        self.retired_sessions: Dict[bytes, Set[bytes]] = {}
         # Per-channel payment sequence numbers (freshness on top of the
         # secure channel's counters).
         self._pay_seq_out: Dict[str, int] = {}
@@ -107,6 +113,11 @@ class ChannelProtocol(EnclaveProgram):
         # Hook called after every state mutation; the replication layer
         # (Alg. 3) overrides it to push updates down the committee chain.
         self.replication_hook: Optional[Callable[[str], None]] = None
+        # Fault-injection probe (repro.faults): observes every named
+        # protocol point *before* replication/persistence runs.  A probe
+        # that raises models a crash exactly at that point — the mutation
+        # happened in enclave memory but was never made durable.
+        self.fault_probe: Optional[Callable[[str], None]] = None
         # Completed settlements, available for audit / PoPT extraction.
         self.settlements: Dict[str, Transaction] = {}
         # Optional committee signing provider (set by the node layer when
@@ -152,7 +163,7 @@ class ChannelProtocol(EnclaveProgram):
     _ROLLBACK_ATTRS = (
         "channels", "deposits", "deposit_keys", "approved_deposits",
         "_pay_seq_out", "_pay_seq_in", "settlements",
-        "pending_candidate_txids",
+        "pending_candidate_txids", "retired_sessions",
     )
 
     def _rollback_snapshot(self):
@@ -192,7 +203,14 @@ class ChannelProtocol(EnclaveProgram):
     def _replicated(self, description: str) -> None:
         """Notify the replication chain of a state mutation (Alg. 3:
         updates must be acknowledged before the operation's effects are
-        released; in direct mode the hook runs synchronously)."""
+        released; in direct mode the hook runs synchronously).
+
+        The fault probe fires first: an injected crash at a named point
+        happens *before* the state became durable, so recovery replays
+        from the previous sealed/replicated snapshot — the pessimistic
+        (and realistic) crash model."""
+        if self.fault_probe is not None:
+            self.fault_probe(description)
         if self.replication_hook is not None:
             self.replication_hook(description)
 
@@ -240,6 +258,36 @@ class ChannelProtocol(EnclaveProgram):
         self.secure_channels[key_bytes] = channel
         self.peer_names[key_bytes] = peer_name
         self.approved_deposits.setdefault(key_bytes, set())
+
+    def reinstall_secure_channel(
+        self, channel: SecureChannel, peer_name: str
+    ) -> None:
+        """Replace an existing secure channel after a fresh attested
+        handshake — the recovery path when either endpoint restarted and
+        its replay counters were lost with enclave memory.
+
+        Payment-channel and deposit state survive untouched (they are tied
+        to the peer's *identity* key, which a restart preserves); only the
+        transport-layer session is renewed.  The old session's salt is
+        retired: a handshake that would regress to any previously-used
+        salt is a replayed recording, and accepting it would resurrect old
+        channel keys with reset counters — the exact replay window the
+        counters exist to close."""
+        key_bytes = channel.remote_key.to_bytes()
+        existing = self.secure_channels.get(key_bytes)
+        if existing is None:
+            raise ChannelStateError(
+                f"no secure channel with {channel.remote_key.fingerprint()}"
+                " to replace"
+            )
+        retired = self.retired_sessions.setdefault(key_bytes, set())
+        if channel.session in retired:
+            raise ChannelStateError(
+                "handshake replays a retired session; refusing to regress"
+            )
+        retired.add(existing.session)
+        self.secure_channels[key_bytes] = channel
+        self.peer_names[key_bytes] = peer_name
 
     # ------------------------------------------------------------------
     # Payment channel creation (Alg. 1 lines 18–31)
@@ -928,8 +976,19 @@ def _replication_blob(program: "ChannelProtocol") -> bytes:
         },
         "pay_seq_out": dict(program._pay_seq_out),
         "pay_seq_in": dict(program._pay_seq_in),
+        # Retired handshake salts must survive a restart or the replayed-
+        # handshake defence in reinstall_secure_channel resets with it.
+        "retired_sessions": {
+            key: set(values)
+            for key, values in program.retired_sessions.items()
+        },
         "payments_sent": program.payments_sent,
         "payments_received": program.payments_received,
+        # In-flight multi-hop sessions (absent on bare ChannelProtocol
+        # programs): a restored/recovering enclave must be able to eject
+        # in-flight payments, which needs the candidate settlements and
+        # PoPT recognition sets held per session.
+        "multihop_sessions": dict(getattr(program, "multihop_sessions", {})),
     }
     return pickle.dumps(state)
 

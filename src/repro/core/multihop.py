@@ -683,6 +683,52 @@ class MultihopMixin:
             return list(session.local_post_settlements.values())  # line 64
         raise MultihopError(f"cannot eject from stage {stage.value}")
 
+    def release_dangling_locks(self) -> List[str]:
+        """Unlock channels whose lock phase never committed a session —
+        the restore-time consistency sweep (§6.2).
+
+        The candidate-announcement replication point (``mh_candidates``)
+        fires *mid* lock handling: after the channel is locked, before
+        the session is recorded.  A crash there restores a snapshot with
+        a locked channel and no session to eject — and since the lock
+        message only leaves the enclave after the session's own
+        replication point, no peer ever saw that lock and no settlement
+        candidate references it.  Lifting it is therefore safe, and
+        without this sweep the channel's deposits would be stuck forever
+        (``settle`` refuses locked channels).  Returns the unlocked
+        channel ids."""
+        referenced = set()
+        for session in self.multihop_sessions.values():
+            referenced.update(session.local_channel_ids())
+        released: List[str] = []
+        for channel_id, channel in self.channels.items():
+            if (channel.stage is not MultihopStage.IDLE
+                    and channel_id not in referenced):
+                self._unlock_channel(channel)
+                released.append(channel_id)
+        if released:
+            self._replicated("locks_released:" + ",".join(sorted(released)))
+        return released
+
+    def eject_all(self) -> Dict[str, List[Transaction]]:
+        """Eject every in-flight multi-hop payment (crash recovery).
+
+        A participant restored from sealed state (§6.2) may hold sessions
+        whose peers have long moved on; completing them is impossible, so
+        recovery terminates each one unilaterally at its recorded stage.
+        Dangling lock-phase channel locks (see
+        :meth:`release_dangling_locks`) are lifted first.  Returns
+        ``payment_id → settlements to broadcast``; already terminated
+        sessions are skipped."""
+        self.release_dangling_locks()
+        ejected: Dict[str, List[Transaction]] = {}
+        for payment_id in sorted(self.multihop_sessions):
+            session = self.multihop_sessions[payment_id]
+            if session.stage in (MultihopStage.TERMINATED, MultihopStage.IDLE):
+                continue
+            ejected[payment_id] = self.eject(payment_id)
+        return ejected
+
     def eject_with_popt(self, payment_id: str,
                         popt: Transaction) -> List[Transaction]:
         """``eject(popt)`` (line 66): another participant terminated and
@@ -746,5 +792,5 @@ class TeechainEnclave(MultihopMixin, ChannelProtocol):
     PROGRAM_VERSION = 1
 
     FREEZE_ALLOWED = ChannelProtocol.FREEZE_ALLOWED + (
-        "eject", "eject_with_popt",
+        "eject", "eject_with_popt", "eject_all", "release_dangling_locks",
     )

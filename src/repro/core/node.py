@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 import logging
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.blockchain.access import AsyncBlockchainClient, WriteAdversary
 from repro.blockchain.chain import Blockchain
@@ -67,6 +67,10 @@ from repro.tee.attestation import AttestationService
 from repro.tee.enclave import Enclave
 
 logger = logging.getLogger(__name__)
+
+# Peer argument accepted by the unified node API: a TeechainNode or its
+# name (the daemon control surface only ever sees names).
+PeerRef = Union["TeechainNode", str]
 
 
 class TeechainNetwork:
@@ -264,25 +268,42 @@ class TeechainNode:
     # Connectivity and channels
     # ------------------------------------------------------------------
 
-    def connect(self, peer: "TeechainNode") -> None:
+    def _resolve_peer(self, peer: "PeerRef") -> "TeechainNode":
+        """Accept a peer as a node object or by name.
+
+        The daemon control API addresses peers by name; accepting names
+        here keeps the two surfaces verb-and-signature compatible (see
+        the README's API table), so the same driving script works against
+        either backend."""
+        if isinstance(peer, TeechainNode):
+            return peer
+        node = self.network.nodes.get(peer)
+        if node is None:
+            raise ReproError(f"no node named {peer!r} in this network")
+        return node
+
+    def connect(self, peer: "PeerRef") -> None:
         """Mutually attest with ``peer`` and install secure channels in
         both enclaves (Alg. 1 ``newNetworkChannel``)."""
+        peer = self._resolve_peer(peer)
         ours, theirs = establish_secure_channel(
             self.enclave, peer.enclave, self.network.attestation
         )
         self._ecall("install_secure_channel", ours, peer.name)
         peer._ecall("install_secure_channel", theirs, self.name)
 
-    def is_connected(self, peer: "TeechainNode") -> bool:
+    def is_connected(self, peer: "PeerRef") -> bool:
+        peer = self._resolve_peer(peer)
         return peer.enclave.public_key.to_bytes() in self.program.secure_channels
 
-    def open_channel(self, peer: "TeechainNode",
+    def open_channel(self, peer: "PeerRef",
                      channel_id: Optional[str] = None) -> str:
-        """Open a payment channel with ``peer``.
+        """Open a payment channel with ``peer`` (node object or name).
 
         Both participants instruct their TEEs (the paper's model); the
         channel is open once the two acknowledgements cross.  With the
         instant transport that has happened by the time this returns."""
+        peer = self._resolve_peer(peer)
         if not self.is_connected(peer):
             self.connect(peer)
         cid = channel_id or self.network.next_channel_id(self.name, peer.name)
@@ -388,10 +409,22 @@ class TeechainNode:
         self.deposits.append(record)
         return record
 
-    def approve_deposit(self, peer: "TeechainNode",
+    def deposit(self, value: int, confirm: bool = True) -> DepositRecord:
+        """Unified-API alias for :meth:`create_deposit` — same verb and
+        signature as the daemon's ``deposit`` control command."""
+        return self.create_deposit(value, confirm=confirm)
+
+    def deposit_by_txid(self, txid: str) -> DepositRecord:
+        for record in self.deposits:
+            if record.outpoint.txid == txid:
+                return record
+        raise ReproError(f"no deposit with txid {txid[:12]}…")
+
+    def approve_deposit(self, peer: "PeerRef",
                         record: DepositRecord) -> None:
         """Run the approval exchange for one of our deposits with
         ``peer`` (Alg. 1 lines 48–63)."""
+        peer = self._resolve_peer(peer)
         self._ecall("approve_my_deposit", peer.enclave.public_key,
                     record.outpoint)
 
@@ -399,17 +432,26 @@ class TeechainNode:
                           record: DepositRecord) -> None:
         self._ecall("associate_deposit", channel_id, record.outpoint)
 
-    def approve_and_associate(self, peer: "TeechainNode",
+    def approve_and_associate(self, peer: "PeerRef",
                               record: DepositRecord,
                               channel_id: str) -> None:
         """Convenience: approval (once per peer — §4.1: "deposits only
         need to be approved once for each participant pair") followed by
         association."""
+        peer = self._resolve_peer(peer)
         peer_key = peer.enclave.public_key.to_bytes()
         already = self.program.approved_deposits.get(peer_key, set())
         if record.outpoint not in already:
             self.approve_deposit(peer, record)
         self.associate_deposit(channel_id, record)
+
+    def approve_associate(self, peer: "PeerRef", channel_id: str,
+                          txid: str) -> None:
+        """Unified-API verb matching the daemon's ``approve-associate``
+        control command: the deposit is addressed by funding txid rather
+        than by record."""
+        self.approve_and_associate(peer, self.deposit_by_txid(txid),
+                                   channel_id)
 
     def dissociate_deposit(self, channel_id: str,
                            record: DepositRecord) -> None:
@@ -496,6 +538,16 @@ class TeechainNode:
         for transaction in transactions:
             self.client.broadcast(transaction)
         return transactions
+
+    def eject_all(self) -> Dict[str, List[Transaction]]:
+        """Eject every in-flight multi-hop payment and broadcast the
+        resulting settlements — the recovery sweep a participant runs
+        after restoring from sealed state (§6.2)."""
+        ejected = self._ecall("eject_all")
+        for transactions in ejected.values():
+            for transaction in transactions:
+                self.client.broadcast(transaction)
+        return ejected
 
     def reclaim_all(self, mine: bool = True) -> int:
         """Appendix A.4's balance-correctness procedure, unilaterally:

@@ -118,5 +118,16 @@ def restore_program_state(program: ChannelProtocol,
     }
     program._pay_seq_out = dict(state.get("pay_seq_out", {}))
     program._pay_seq_in = dict(state.get("pay_seq_in", {}))
+    program.retired_sessions = {
+        key: set(values)
+        for key, values in state.get("retired_sessions", {}).items()
+    }
     program.payments_sent = state.get("payments_sent", 0)
     program.payments_received = state.get("payments_received", 0)
+    # In-flight multi-hop sessions, when the program supports them (the
+    # full TeechainEnclave does; bare ChannelProtocol programs do not).
+    # Restoring these is what lets a recovered enclave eject payments
+    # that were mid-flight at the crash (Alg. 2 lines 60–72).
+    sessions = state.get("multihop_sessions")
+    if sessions is not None and hasattr(program, "multihop_sessions"):
+        program.multihop_sessions = dict(sessions)

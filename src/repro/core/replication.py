@@ -258,6 +258,11 @@ class ReplicationChain:
     def read_backup(self, member: Enclave) -> Dict[str, Any]:
         """Read state from a backup — triggers the force-freeze."""
         state = member.ecall("read_state")
+        metrics = get_metrics()
+        if metrics.enabled:
+            # A backup read is the recovery path: the participant lost
+            # its primary and is settling from replicated state.
+            metrics.inc("faults.recovered[backup_read]")
         self.freeze(reason=f"read access at {member.name}")
         return state
 
@@ -265,6 +270,9 @@ class ReplicationChain:
         """Freeze the whole chain (primary included)."""
         if self.frozen:
             return
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("replication.freezes")
         self.frozen = True
         for member in self.members:
             if member.status.value != "crashed":

@@ -59,17 +59,21 @@ def ecdh_shared_secret(private: PrivateKey, peer_public: PublicKey) -> bytes:
 
 
 def derive_channel_keys(
-    private: PrivateKey, peer_public: PublicKey
+    private: PrivateKey, peer_public: PublicKey, session: bytes = b""
 ) -> SecureChannelKeys:
     """Derive symmetric channel keys between two parties.
 
     Both sides derive identical keys because the context sorts the two
-    public keys (the DH secret is already symmetric).
+    public keys (the DH secret is already symmetric).  ``session`` mixes a
+    per-handshake salt into the context: identity keys are static, so
+    without it a re-established channel (after an endpoint restart) would
+    reuse the previous session's keys with reset counters — and recorded
+    ciphertexts from the old session would replay cleanly.
     """
     shared = ecdh_shared_secret(private, peer_public)
     ours = private.public_key.to_bytes()
     theirs = peer_public.to_bytes()
-    context = min(ours, theirs) + max(ours, theirs)
+    context = min(ours, theirs) + max(ours, theirs) + session
     return SecureChannelKeys.from_shared_secret(shared, context)
 
 

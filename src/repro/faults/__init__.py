@@ -1,0 +1,50 @@
+"""repro.faults — deterministic fault injection and crash recovery.
+
+One :class:`FaultSchedule` drives both execution modes: the DES injector
+replays it exactly (same seed ⇒ identical event trace), the live
+injector approximately against real daemon processes.  The fault matrix
+turns Algorithm 2's §5.1 case analysis into an executable sweep.  See
+DESIGN.md's "Fault model" section for the mapping to the paper.
+"""
+
+from repro.faults.des import DesFaultInjector
+from repro.faults.live import LiveFaultInjector
+from repro.faults.matrix import (
+    ROLE_STAGE_POINTS,
+    ROLES,
+    STAGES,
+    CellResult,
+    recovery_sweep,
+    run_committee_member_loss,
+    run_committee_primary_loss,
+    run_crash_cell,
+    run_matrix,
+    summarise,
+)
+from repro.faults.schedule import (
+    DES_KINDS,
+    LIVE_KINDS,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+)
+
+__all__ = [
+    "DES_KINDS",
+    "LIVE_KINDS",
+    "ROLES",
+    "ROLE_STAGE_POINTS",
+    "STAGES",
+    "CellResult",
+    "DesFaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
+    "LiveFaultInjector",
+    "recovery_sweep",
+    "run_committee_member_loss",
+    "run_committee_primary_loss",
+    "run_crash_cell",
+    "run_matrix",
+    "summarise",
+]

@@ -1,0 +1,124 @@
+"""Fault injection against live daemon processes (wall clock).
+
+The live half of the fault engine replays a
+:class:`~repro.faults.schedule.FaultSchedule` approximately: timing is
+wall clock and the OS scheduler has a vote, but the *faults themselves*
+are real — SIGKILL against a daemon process, severed and black-holed TCP
+links, garbage bytes on a control socket.  Link faults and in-process
+crashes are delivered through the daemon's ``fault`` control command
+(the same typed registry as every other command); process kills come
+from the outside, as they would in production.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.faults.schedule import FaultKind, FaultSchedule, FaultSpec
+from repro.obs import get_metrics
+
+logger = logging.getLogger(__name__)
+
+
+class LiveFaultInjector:
+    """Applies a schedule's live faults to running daemons.
+
+    ``handles`` maps daemon name → :class:`~repro.runtime.launch.DaemonHandle`
+    (anything with ``process``, ``control_port``, and a ``control``
+    client works).
+    """
+
+    def __init__(self, handles: Dict[str, object],
+                 schedule: FaultSchedule) -> None:
+        self.handles = handles
+        self.schedule = schedule
+        self.injected: List[Tuple[str, str, str]] = []
+        self.killed: List[str] = []
+
+    def apply(self) -> None:
+        """Replay every live fault, sleeping to honour ``at`` offsets
+        (relative to the moment ``apply`` is called)."""
+        start = time.monotonic()
+        for spec in sorted(self.schedule.live_faults(),
+                           key=lambda s: s.at or 0.0):
+            if spec.at is not None:
+                remaining = spec.at - (time.monotonic() - start)
+                if remaining > 0:
+                    time.sleep(remaining)
+            self.apply_spec(spec)
+
+    def apply_spec(self, spec: FaultSpec) -> Optional[dict]:
+        """Inject one fault now; returns the daemon's response, if any."""
+        kind = spec.kind
+        if kind is FaultKind.KILL:
+            return self._kill(spec.target)
+        if kind is FaultKind.CRASH:
+            response = self._control(spec.target).call("fault",
+                                                       action="crash")
+            self._count("crash", spec.target)
+            return response
+        if kind in (FaultKind.SEVER, FaultKind.BLACKHOLE, FaultKind.HEAL):
+            sender, destination = spec.link()
+            response = self._control(sender).call(
+                "fault", action=kind.value, peer=destination)
+            self._count(kind.value, spec.target)
+            return response
+        if kind is FaultKind.CORRUPT_CONTROL:
+            return self.corrupt_control(spec.target)
+        raise ReproError(f"{kind.value} is not a live fault")
+
+    def _kill(self, name: str) -> None:
+        """SIGKILL the daemon — no shutdown handshake, no flush; the
+        closest a test gets to pulling the power cord."""
+        handle = self._handle(name)
+        handle.process.kill()
+        handle.process.wait()
+        try:
+            handle.control.close()
+        except Exception:  # noqa: BLE001 — socket may already be dead
+            pass
+        self.killed.append(name)
+        self._count("kill", name)
+        logger.info("fault: SIGKILLed daemon %s", name)
+
+    def corrupt_control(self, name: str) -> dict:
+        """Write garbage to the daemon's control port and return its
+        response.  A robust daemon answers a structured ``bad_request``
+        error and keeps serving; a traceback or a dropped connection is
+        a finding."""
+        handle = self._handle(name)
+        with socket.create_connection(("127.0.0.1", handle.control_port),
+                                      timeout=5.0) as raw:
+            raw.sendall(b"\x00\xffnot json at all{{{\n")
+            reader = raw.makefile("rb")
+            line = reader.readline()
+        self._count("corrupt_control", name)
+        if not line:
+            return {"ok": False, "code": "connection_closed"}
+        try:
+            return json.loads(line.decode("utf-8", "replace"))
+        except json.JSONDecodeError:
+            return {"ok": False, "code": "unparseable_response",
+                    "raw": line.decode("utf-8", "replace")}
+
+    def _handle(self, name: str):
+        handle = self.handles.get(name)
+        if handle is None:
+            raise ReproError(f"fault schedule targets unknown daemon "
+                             f"{name!r}")
+        return handle
+
+    def _control(self, name: str):
+        return self._handle(name).control
+
+    def _count(self, kind: str, target: str) -> None:
+        self.injected.append((kind, target, ""))
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("faults.injected")
+            metrics.inc(f"faults.injected[{kind}]")

@@ -25,6 +25,10 @@ class _PairPolicy:
     # for stalling a protocol at a chosen phase.
     drop_after: Optional[int] = None
     seen: int = 0
+    # Hold messages and release them in shuffled order once ``window``
+    # are buffered (seeded shuffle — deterministic per adversary).
+    reorder_window: int = 0
+    reorder_buffer: List[Message] = field(default_factory=list)
 
 
 class NetworkAdversary:
@@ -48,6 +52,13 @@ class NetworkAdversary:
         self.recorded: List[Message] = []
         self.dropped: List[Message] = []
         network.add_tap(self._tap)
+
+    def detach(self) -> None:
+        """Remove the tap from the transport; held reorder buffers are
+        flushed first so no message is silently lost on teardown."""
+        for sender, destination in list(self._policies):
+            self.clear(sender, destination)
+        self.network.remove_tap(self._tap)
 
     def _policy(self, sender: str, destination: str) -> _PairPolicy:
         key = (sender, destination)
@@ -80,6 +91,23 @@ class NetworkAdversary:
     def duplicate(self, sender: str, destination: str) -> None:
         """Deliver each matching message twice (network-level duplication)."""
         self._policy(sender, destination).duplicate = True
+
+    def reorder(self, sender: str, destination: str, window: int = 2) -> None:
+        """Buffer matching messages and release each full window in a
+        seeded-shuffled order — the adversarial reordering the secure
+        channel's sequence counters must reject or tolerate."""
+        if window < 2:
+            raise ValueError(f"reorder window must be ≥ 2, got {window}")
+        self._policy(sender, destination).reorder_window = window
+
+    def clear(self, sender: str, destination: str) -> None:
+        """Drop all policies for one direction, flushing any messages the
+        reorder buffer still holds (in order — the attack is over)."""
+        policy = self._policies.pop((sender, destination), None)
+        if policy is not None:
+            for message in policy.reorder_buffer:
+                self._inject(message, extra_delay=0.0)
+            policy.reorder_buffer.clear()
 
     def record(self, sender: str, destination: str) -> None:
         """Start taping messages for later replay."""
@@ -115,6 +143,15 @@ class NetworkAdversary:
                 return False
         if policy.drop_probability and self._rng.random() < policy.drop_probability:
             self.dropped.append(message)
+            return False
+        if policy.reorder_window:
+            policy.reorder_buffer.append(message)
+            if len(policy.reorder_buffer) >= policy.reorder_window:
+                batch = policy.reorder_buffer
+                policy.reorder_buffer = []
+                self._rng.shuffle(batch)
+                for held in batch:
+                    self._inject(held, extra_delay=policy.extra_delay)
             return False
         if policy.duplicate:
             self._inject(message, extra_delay=policy.extra_delay)

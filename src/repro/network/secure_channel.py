@@ -70,6 +70,9 @@ class SecureChannel:
     local_key: PublicKey
     remote_key: PublicKey
     keys: SecureChannelKeys
+    # Per-handshake salt mixed into the key derivation (empty for the
+    # in-process establishment path, where channels are never renewed).
+    session: bytes = b""
     _send_counter: int = 0
     _recv_counter: int = 0
 
@@ -195,6 +198,7 @@ def channel_from_quote(
     root_key: PublicKey,
     expected_measurement: Optional[bytes] = None,
     service: Optional[AttestationService] = None,
+    session: bytes = b"",
 ) -> SecureChannel:
     """One side of the handshake when the peer enclave lives in another
     process: all we hold is its attestation quote, received off the wire.
@@ -206,6 +210,11 @@ def channel_from_quote(
     public keys into the KDF context), so when both sides run this against
     each other's quotes they arrive at the same channel keys with no
     further round trips.
+
+    ``session`` is the combined handshake salt (both daemons' boot nonces,
+    hashed symmetrically) — it renews the channel keys when an endpoint
+    restarts, so the re-handshake cannot resurrect the dead session's
+    keystream (see :meth:`ChannelProtocol.reinstall_secure_channel`).
     """
     measurement = expected_measurement or enclave.measurement
     verify_quote(peer_quote, root_key, measurement, service=service)
@@ -214,6 +223,7 @@ def channel_from_quote(
             "quote does not bind the peer's channel key"
         )
     keys = derive_channel_keys(enclave.identity.private,
-                               peer_quote.enclave_key)
+                               peer_quote.enclave_key, session=session)
     return SecureChannel(local_key=enclave.public_key,
-                         remote_key=peer_quote.enclave_key, keys=keys)
+                         remote_key=peer_quote.enclave_key, keys=keys,
+                         session=session)

@@ -103,6 +103,14 @@ class BaseNetwork:
         """
         self._taps.append(tap)
 
+    def remove_tap(self, tap: Callable[[Message], Optional[bool]]) -> None:
+        """Uninstall a wire tap (no-op if it was never installed) — lets
+        a fault injector detach without leaving dead policy hooks."""
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
+
     def _handler_for(self, destination: str) -> Handler:
         handler = self._handlers.get(destination)
         if handler is None:

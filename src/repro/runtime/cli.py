@@ -30,8 +30,8 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.errors import ReproError
-from repro.runtime.control import ControlClient
-from repro.runtime.daemon import serve
+from repro.runtime.control import ControlClient, ControlError
+from repro.runtime.daemon import COMMANDS, serve
 
 
 def _parse_fund(values: List[str]) -> Dict[str, int]:
@@ -72,9 +72,18 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="NAME=AMOUNT",
                            help="genesis allocation; repeat per participant, "
                                 "identical across all daemons")
+    serve_cmd.add_argument("--state-dir", default=None,
+                           help="directory for sealed state; enables "
+                                "crash recovery across restarts")
     serve_cmd.add_argument("--log-level", default="WARNING")
 
-    call_cmd = commands.add_parser("call", help="send one control command")
+    call_cmd = commands.add_parser(
+        "call", help="send one control command",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        # The command table is generated from the daemon's registry, so
+        # this help can never drift from what the daemon accepts.
+        epilog="commands:\n" + COMMANDS.help_text(),
+    )
     call_cmd.add_argument("target", help="control address, host:port")
     call_cmd.add_argument("cmd", help="command name (e.g. open-channel)")
     call_cmd.add_argument("args", nargs="*", metavar="key=value")
@@ -90,6 +99,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             asyncio.run(serve(
                 arguments.name, arguments.host, arguments.port,
                 arguments.control_port, allocations,
+                state_dir=arguments.state_dir,
             ))
         except KeyboardInterrupt:
             pass
@@ -100,6 +110,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             try:
                 response = client.call(arguments.cmd,
                                        **_parse_call_args(arguments.args))
+            except ControlError as exc:
+                print(json.dumps({"ok": False, "code": exc.code,
+                                  "error": str(exc)}))
+                return 1
             except ReproError as exc:
                 print(json.dumps({"ok": False, "error": str(exc)}))
                 return 1

@@ -4,11 +4,18 @@ Used by the CLI, the live tests, and the loopback benchmark — all of
 which run *outside* the daemon's event loop, so a plain blocking socket
 is the right tool.  One request object per line out, one response object
 per line back, strictly in order.
+
+Failures are structured: the daemon answers ``{"ok": false, "code": ...,
+"error": ...}`` and :class:`ControlError` carries the stable ``code``
+(``bad_request``, ``no_such_channel``, ``enclave_crashed``, …) so
+callers branch on codes, not prose.  Timeouts are explicit deadline
+errors that say what was being waited for, never silent hangs.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 from typing import Any, Dict, Optional
@@ -17,7 +24,11 @@ from repro.errors import ReproError
 
 
 class ControlError(ReproError):
-    """The daemon reported a command failure (its ``error`` string)."""
+    """A control command failed; ``code`` is the stable error code."""
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 class ControlClient:
@@ -31,19 +42,37 @@ class ControlClient:
     def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
         self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._socket.settimeout(timeout)
         self._reader = self._socket.makefile("rb")
 
-    def call(self, cmd: str, **kwargs: Any) -> Dict[str, Any]:
+    def call(self, cmd: str, timeout: Optional[float] = None,
+             **kwargs: Any) -> Dict[str, Any]:
+        """Send one command and wait (bounded) for its response.
+
+        ``timeout`` overrides the client default for this call only —
+        a ``bench-pay`` needs more room than a ``ping``.
+        """
         request = {"cmd": cmd, **kwargs}
-        self._socket.sendall(json.dumps(request).encode() + b"\n")
-        line = self._reader.readline()
+        deadline = self.timeout if timeout is None else timeout
+        self._socket.settimeout(deadline)
+        try:
+            self._socket.sendall(json.dumps(request).encode() + b"\n")
+            line = self._reader.readline()
+        except socket.timeout:
+            raise ControlError(
+                f"{cmd!r} to {self.host}:{self.port} got no response "
+                f"within {deadline:.1f}s", code="timeout") from None
         if not line:
-            raise ControlError(f"daemon at {self.host}:{self.port} hung up")
+            raise ControlError(
+                f"daemon at {self.host}:{self.port} hung up "
+                f"while {cmd!r} was in flight", code="connection_closed")
         response = json.loads(line)
         if not response.pop("ok", False):
-            raise ControlError(response.get("error", "unknown daemon error"))
+            raise ControlError(
+                response.get("error", "unknown daemon error"),
+                code=response.get("code", "error"),
+            )
         return response
 
     def close(self) -> None:
@@ -59,23 +88,60 @@ class ControlClient:
         self.close()
 
 
+def call_with_retry(client: ControlClient, cmd: str, *, attempts: int = 5,
+                    backoff: float = 0.1, backoff_cap: float = 2.0,
+                    **kwargs: Any) -> Dict[str, Any]:
+    """Retry a command on *transport-level* failures with exponential
+    backoff plus jitter.
+
+    Command-level failures (the daemon answered ``ok: false``) are never
+    retried: the daemon spoke, and blindly repeating a rejected request
+    is how duplicate payments happen.
+    """
+    last: Optional[Exception] = None
+    for attempt in range(attempts):
+        try:
+            return client.call(cmd, **kwargs)
+        except ControlError as exc:
+            if exc.code not in ("timeout", "connection_closed"):
+                raise
+            last = exc
+        except (OSError, json.JSONDecodeError) as exc:
+            last = exc
+        if attempt < attempts - 1:
+            time.sleep(backoff * (1.0 + random.random() * 0.5))
+            backoff = min(backoff * 2, backoff_cap)
+    raise ControlError(
+        f"{cmd!r} failed after {attempts} attempts: {last}",
+        code="retries_exhausted")
+
+
 def wait_for_control(host: str, port: int, timeout: float = 15.0,
                      interval: float = 0.05) -> ControlClient:
     """Poll until a daemon's control port accepts a ``ping``.
 
     Daemons started as subprocesses need a beat to bind their listeners;
-    this is the launcher's readiness check.
+    this is the launcher's readiness check.  A poll attempt that fails
+    mid-ping closes its socket before retrying — a slow-starting daemon
+    must not leak one file descriptor per tick — and the poll interval
+    backs off (with jitter) so many concurrent launches don't hammer
+    the loopback in lockstep.
     """
     deadline = time.monotonic() + timeout
     last_error: Optional[Exception] = None
+    sleep = interval
     while time.monotonic() < deadline:
+        client: Optional[ControlClient] = None
         try:
             client = ControlClient(host, port, timeout=timeout)
             client.call("ping")
             return client
-        except (OSError, ReproError) as exc:
+        except (OSError, ReproError, json.JSONDecodeError) as exc:
+            if client is not None:
+                client.close()
             last_error = exc
-            time.sleep(interval)
+            time.sleep(sleep * (1.0 + random.random() * 0.25))
+            sleep = min(sleep * 1.5, 1.0)
     raise ControlError(
-        f"no daemon on {host}:{port} after {timeout}s: {last_error}"
-    )
+        f"no daemon on {host}:{port} after {timeout}s: {last_error}",
+        code="timeout")

@@ -14,6 +14,15 @@ versions of everything the simulator provided for free:
   (:class:`ChainTx` on submit, :class:`ChainMine` on block);
 * **a control plane** — a line-JSON TCP API (one request object per
   line, one response per line) driven by the CLI, tests, and benchmarks.
+  Commands are declared once in a typed registry
+  (:mod:`repro.runtime.registry`); dispatch, validation, ``help`` output
+  and stable error ``code`` fields all derive from the declarations.
+* **stable storage** — with ``state_dir`` set, every protocol state
+  change is sealed to disk bound to a persisted monotonic counter
+  (paper §6.2, via :class:`~repro.core.persistence.PersistentStore` and
+  :class:`~repro.runtime.recovery.DaemonStateStore`).  A daemon
+  SIGKILLed mid-payment restarts from its sealed snapshot, replays its
+  chain, re-handshakes with peers, and settles the exact balances.
 
 Ordering is the delicate part of channel opening over real sockets:
 secure-channel replay counters forbid redelivering an envelope, so the
@@ -23,6 +32,13 @@ per-peer FIFO guarantees the responder created its channel record first),
 at which point the delivery path's pump flushes it.  A real host would
 buffer the early ack; deferring the pump models that without a retry
 queue.
+
+Handshakes carry a per-boot session nonce: both sides hash the two
+nonces order-independently into the secure-channel key derivation, so a
+restarted endpoint (fresh nonce, replay counters lost with enclave
+memory) triggers a key renewal via the ``reinstall_secure_channel``
+ecall, while a benign TCP reconnect within the same boot pair computes
+the same salt and keeps the existing channel and counters.
 """
 
 from __future__ import annotations
@@ -30,14 +46,17 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import os
 import time
-from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.blockchain.chain import Blockchain
 from repro.blockchain.script import LockingScript
-from repro.blockchain.transaction import OutPoint, Transaction
+from repro.blockchain.transaction import Transaction
 from repro.core.deposits import DepositRecord
 from repro.core.node import TeechainNetwork, TeechainNode
+from repro.core.persistence import PersistentStore
+from repro.crypto.hashing import sha256
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.errors import BlockchainError, ReproError
 from repro.network.secure_channel import channel_from_quote
@@ -46,16 +65,27 @@ from repro.runtime.messages import (
     ChainMine,
     ChainTx,
     Echo,
-    Envelope,
     Hello,
     HelloAck,
     OpenChannel,
     OpenChannelOk,
 )
+from repro.runtime.recovery import DaemonStateStore, chain_snapshot, replay_chain
+from repro.runtime.registry import (
+    CommandError,
+    CommandRegistry,
+    Param,
+    code_for_exception,
+)
 from repro.runtime.transport import AsyncTcpNetwork
 from repro.runtime.wallclock import WallClockScheduler
+from repro.tee.compromise import crash_enclave
 
 logger = logging.getLogger(__name__)
+
+#: The daemon's control-command table.  Every command is declared here by
+#: decorating its handler; there is no dispatch if/elif anywhere.
+COMMANDS = CommandRegistry()
 
 
 def make_genesis(chain: Blockchain, allocations: Dict[str, int]) -> None:
@@ -83,6 +113,7 @@ class NodeDaemon:
         port: int = 0,
         control_port: int = 0,
         allocations: Optional[Dict[str, int]] = None,
+        state_dir: Optional[str] = None,
     ) -> None:
         self.name = name
         self.allocations = dict(allocations or {})
@@ -105,6 +136,10 @@ class NodeDaemon:
         self.control_port = control_port
         self._control_server: Optional[asyncio.AbstractServer] = None
 
+        # Fresh per boot: mixed into secure-channel key derivation so
+        # peers can tell a restart (new keys needed) from a reconnect.
+        self._session_nonce = os.urandom(16)
+
         self._peer_keys: Dict[str, PublicKey] = {}
         self._peer_addresses: Dict[str, str] = {}
         self._pending_opens: Dict[str, asyncio.Event] = {}
@@ -116,12 +151,83 @@ class NodeDaemon:
         self._shutdown = asyncio.Event()
         self._pump_task: Optional[asyncio.Task] = None
 
+        # Stable storage (paper §6.2), gated on state_dir.  Restore runs
+        # before the gossip subscriptions below: chain replay is local
+        # history, not news to rebroadcast.
+        self.state: Optional[DaemonStateStore] = None
+        self.pstore: Optional[PersistentStore] = None
+        self.restored = False
+        if state_dir:
+            self.state = DaemonStateStore(state_dir, name)
+            self._setup_persistence()
+
         self.net.hello_factory = self._make_hello
         self.net.hello_handler = self._on_hello
         self.net.hello_ack_handler = self._on_hello_ack
         self.net.control_handler = self._on_control
         chain.subscribe_submit(self._gossip_submit)
         chain.subscribe(self._gossip_block)
+
+    # ------------------------------------------------------------------
+    # Stable storage
+    # ------------------------------------------------------------------
+
+    def _setup_persistence(self) -> None:
+        """Wire sealed-state persistence; restore a prior boot's state.
+
+        The monotonic counter delay is zero here: counter throttling is
+        a *benchmark* concern (Table 1's 10 tx/s stable-storage row,
+        measured in the DES); a live daemon should not sleep 100 ms per
+        payment just to remind us SGX counters are slow.
+        """
+        store = self.state
+        assert store is not None
+        self.pstore = PersistentStore(
+            self.node.enclave, self.scheduler,
+            platform_secret=store.platform_secret, increment_delay=0.0,
+        )
+        if store.has_state:
+            # Counter first (hardware survives power cycles), then the
+            # blob — unseal verifies the binding and rejects rollback.
+            self.pstore.counter = self.pstore.counters.create(
+                initial=store.load_counter())
+            self.pstore.latest_blob = store.load_sealed()
+            self.pstore.restore(self.node.enclave)
+            meta = store.load_host() or {}
+            self.node.channels.update(meta.get("channels", {}))
+            self._peer_addresses.update(meta.get("peer_addresses", {}))
+            self._deposits.update(meta.get("deposits", {}))
+            self._applying_remote = True
+            try:
+                replay_chain(self.network.chain,
+                             meta.get("chain", {"blocks": [], "mempool": []}))
+            finally:
+                self._applying_remote = False
+            self.restored = True
+            logger.info("%s: restored sealed state (counter=%d, chain "
+                        "height=%d)", self.name, self.pstore.counter.value,
+                        self.network.chain.height)
+
+        def hook(description: str) -> None:
+            pstore = self.pstore
+            pstore.persist()
+            store.save_sealed(pstore.latest_blob)
+            self._save_host_meta()
+            if self.metrics.enabled:
+                self.metrics.inc("runtime.seals_written")
+
+        self.node.program.replication_hook = hook
+        self._save_host_meta()
+
+    def _save_host_meta(self) -> None:
+        if self.state is None:
+            return
+        self.state.save_host({
+            "channels": dict(self.node.channels),
+            "peer_addresses": dict(self._peer_addresses),
+            "deposits": dict(self._deposits),
+            "chain": chain_snapshot(self.network.chain),
+        })
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -181,6 +287,7 @@ class NodeDaemon:
             port=self.net.port,
             settlement_address=self.node.address,
             quote=self._my_quote(),
+            session=self._session_nonce,
         )
 
     def _my_quote(self):
@@ -189,38 +296,64 @@ class NodeDaemon:
             enclave, report_data=enclave.public_key.to_bytes()
         )
 
-    def _install_peer(self, name: str, settlement_address: str, quote) -> None:
-        if quote.enclave_key.to_bytes() not in self.node.program.secure_channels:
+    def _combined_session(self, peer_nonce: bytes) -> bytes:
+        """Both boot nonces hashed order-independently, so the two sides
+        of a dual-dial handshake derive the same salt."""
+        first, second = sorted((bytes(self._session_nonce),
+                                bytes(peer_nonce)))
+        return sha256(b"session:" + first + b"|" + second)
+
+    def _install_peer(self, name: str, settlement_address: str, quote,
+                      session: bytes = b"") -> None:
+        salt = self._combined_session(session)
+        key_bytes = quote.enclave_key.to_bytes()
+        existing = self.node.program.secure_channels.get(key_bytes)
+        if existing is None or existing.session != salt:
             channel = channel_from_quote(
                 self.node.enclave, quote,
                 self.network.attestation.root_key,
                 service=self.network.attestation,
+                session=salt,
             )
-            self.node.enclave.ecall("install_secure_channel", channel, name)
+            # First contact installs; a *different* salt means one of us
+            # rebooted (its replay counters died with enclave memory), so
+            # renew the keys — the enclave retires the old salt to block
+            # replayed-handshake regressions.  Same salt: benign TCP
+            # reconnect within the same boot pair; keep channel+counters.
+            verb = ("install_secure_channel" if existing is None
+                    else "reinstall_secure_channel")
+            self.node.enclave.ecall(verb, channel, name)
+            if existing is not None and self.metrics.enabled:
+                self.metrics.inc("runtime.channel_reinstalls")
         self._peer_keys[name] = quote.enclave_key
         self._peer_addresses[name] = settlement_address
+        self._save_host_meta()
 
     def _on_hello(self, hello: Hello) -> HelloAck:
-        self._install_peer(hello.name, hello.settlement_address, hello.quote)
+        self._install_peer(hello.name, hello.settlement_address, hello.quote,
+                           hello.session)
         # Dial back so we can send; a no-op if the link already exists.
         self.net.add_peer(hello.name, hello.host, hello.port)
         return HelloAck(name=self.name, settlement_address=self.node.address,
-                        quote=self._my_quote())
+                        quote=self._my_quote(), session=self._session_nonce)
 
     def _on_hello_ack(self, ack: HelloAck) -> None:
-        self._install_peer(ack.name, ack.settlement_address, ack.quote)
+        self._install_peer(ack.name, ack.settlement_address, ack.quote,
+                           ack.session)
 
     # ------------------------------------------------------------------
     # Blockchain replication
     # ------------------------------------------------------------------
 
     def _gossip_submit(self, transaction: Transaction) -> None:
+        self._save_host_meta()
         if self._applying_remote:
             return
         for peer in self.net.peer_names():
             self.net.send_control(peer, ChainTx(transaction))
 
     def _gossip_block(self, block) -> None:
+        self._save_host_meta()
         if self._applying_remote:
             return
         announcement = ChainMine(
@@ -271,6 +404,7 @@ class NodeDaemon:
             self._on_open_channel(obj)
         elif isinstance(obj, OpenChannelOk):
             self.node.channels[obj.channel_id] = obj.responder
+            self._save_host_meta()
             event = self._pending_opens.get(obj.channel_id)
             if event is not None:
                 event.set()
@@ -293,6 +427,7 @@ class NodeDaemon:
             request.settlement_address, self.node.address,
         )
         self.node.channels[request.channel_id] = request.initiator
+        self._save_host_meta()
         self.net.send_control(
             request.initiator,
             OpenChannelOk(channel_id=request.channel_id, responder=self.name,
@@ -323,9 +458,24 @@ class NodeDaemon:
         return finished - started
 
     # ------------------------------------------------------------------
-    # Operations (driven by the control API)
+    # Control commands.  Each handler is declared in the registry; the
+    # verbs mirror TeechainNode's API (see README's command table).
     # ------------------------------------------------------------------
 
+    @COMMANDS.command("ping", doc="Liveness check; returns name and clock.")
+    async def _cmd_ping(self) -> Dict[str, Any]:
+        return {"name": self.name, "now": self.scheduler.now}
+
+    @COMMANDS.command("help", doc="List every command with its signature.")
+    async def _cmd_help(self) -> Dict[str, Any]:
+        return {"commands": COMMANDS.help_table()}
+
+    @COMMANDS.command(
+        "connect",
+        Param("peer", doc="peer daemon name"),
+        Param("host", doc="peer host"),
+        Param("port", int, doc="peer port"),
+        doc="Dial a peer and complete the attested handshake.")
     async def connect(self, peer: str, host: str, port: int,
                       timeout: float = 10.0) -> Dict[str, Any]:
         self.net.add_peer(peer, host, port)
@@ -334,11 +484,17 @@ class NodeDaemon:
                              f"attestation handshake with {peer}")
         return {"peer": peer, "attested": True}
 
+    @COMMANDS.command(
+        "open-channel",
+        Param("peer", doc="attested peer name"),
+        Param("channel_id", required=False, doc="explicit id (optional)"),
+        doc="Open a payment channel with an attested peer.")
     async def open_channel(self, peer: str,
                            channel_id: Optional[str] = None,
                            timeout: float = 10.0) -> Dict[str, Any]:
         if peer not in self._peer_keys:
-            raise ReproError(f"not connected to {peer!r}")
+            raise CommandError(f"not connected to {peer!r}",
+                               code="not_connected")
         cid = channel_id or self.network.next_channel_id(self.name, peer)
         event = asyncio.Event()
         self._pending_opens[cid] = event
@@ -359,21 +515,34 @@ class NodeDaemon:
             self._opening -= 1
             self._pending_opens.pop(cid, None)
         self.node.channels[cid] = peer
+        self._save_host_meta()
         # Barrier: the peer has processed our (now flushed) ack.
         await self._echo_round_trip(peer, timeout)
         return {"channel_id": cid, "peer": peer}
 
+    @COMMANDS.command(
+        "deposit",
+        Param("value", int, doc="satoshi value to deposit"),
+        doc="Create and confirm an on-chain deposit.")
     async def deposit(self, value: int) -> Dict[str, Any]:
         record = self.node.create_deposit(value, confirm=True)
         self._deposits[record.outpoint.txid] = record
+        self._save_host_meta()
         return {"txid": record.outpoint.txid,
                 "index": record.outpoint.index, "value": value}
 
+    @COMMANDS.command(
+        "approve-associate",
+        Param("peer", doc="channel counterparty"),
+        Param("channel_id"),
+        Param("txid", doc="deposit txid from 'deposit'"),
+        doc="Approve a deposit for a peer and associate it to a channel.")
     async def approve_associate(self, peer: str, channel_id: str,
                                 txid: str, timeout: float = 10.0) -> Dict[str, Any]:
         record = self._deposits.get(txid)
         if record is None:
-            raise ReproError(f"no deposit with txid {txid[:12]}…")
+            raise CommandError(f"no deposit with txid {txid[:12]}…",
+                               code="no_such_deposit")
         peer_key = self._peer_keys[peer]
         key_bytes = peer_key.to_bytes()
         program = self.node.program
@@ -392,6 +561,11 @@ class NodeDaemon:
                 "my_balance": snapshot["my_balance"],
                 "remote_balance": snapshot["remote_balance"]}
 
+    @COMMANDS.command(
+        "pay",
+        Param("channel_id"),
+        Param("amount", int),
+        doc="Send one off-chain payment over a channel.")
     async def pay(self, channel_id: str, amount: int) -> Dict[str, Any]:
         self.node.pay(channel_id, amount)
         snapshot = self.node.program.channel_snapshot(channel_id)
@@ -399,8 +573,14 @@ class NodeDaemon:
                 "my_balance": snapshot["my_balance"],
                 "remote_balance": snapshot["remote_balance"]}
 
-    async def bench_pay(self, channel_id: str, amount: int,
-                        count: int, timeout: float = 120.0) -> Dict[str, Any]:
+    @COMMANDS.command(
+        "bench-pay",
+        Param("channel_id"),
+        Param("count", int, doc="number of payments"),
+        Param("amount", int, required=False, default=1),
+        doc="Throughput probe: count payments, echo-barrier timed.")
+    async def bench_pay(self, channel_id: str, count: int, amount: int = 1,
+                        timeout: float = 120.0) -> Dict[str, Any]:
         """Throughput probe: ``count`` payments, timed until the peer has
         processed the last one (echo barrier), not merely until enqueued."""
         peer = self.node.channels[channel_id]
@@ -414,8 +594,14 @@ class NodeDaemon:
         return {"count": count, "elapsed_s": elapsed,
                 "payments_per_s": count / elapsed if elapsed else 0.0}
 
-    async def bench_latency(self, channel_id: str, amount: int,
-                            count: int, timeout: float = 30.0) -> Dict[str, Any]:
+    @COMMANDS.command(
+        "bench-latency",
+        Param("channel_id"),
+        Param("count", int, doc="number of samples"),
+        Param("amount", int, required=False, default=1),
+        doc="Latency probe: per-payment round trips.")
+    async def bench_latency(self, channel_id: str, count: int, amount: int = 1,
+                            timeout: float = 30.0) -> Dict[str, Any]:
         """Latency probe: per-payment round trips (pay + echo barrier)."""
         peer = self.node.channels[channel_id]
         samples: List[float] = []
@@ -434,6 +620,18 @@ class NodeDaemon:
             "max_s": ordered[-1],
         }
 
+    @COMMANDS.command(
+        "echo",
+        Param("peer"),
+        doc="Round-trip a control frame to a peer; returns the RTT.")
+    async def _cmd_echo(self, peer: str) -> Dict[str, Any]:
+        rtt = await self._echo_round_trip(peer)
+        return {"peer": peer, "rtt_s": rtt}
+
+    @COMMANDS.command(
+        "settle",
+        Param("channel_id"),
+        doc="Settle a channel (off-chain if balanced, on-chain otherwise).")
     async def settle(self, channel_id: str) -> Dict[str, Any]:
         peer = self.node.channels.get(channel_id)
         transaction = self.node.settle(channel_id)
@@ -444,6 +642,100 @@ class NodeDaemon:
         return {"channel_id": channel_id,
                 "txid": transaction.txid if transaction else None,
                 "offchain": transaction is None}
+
+    @COMMANDS.command(
+        "eject-all",
+        doc="Eject every in-flight multi-hop payment (crash recovery).")
+    async def _cmd_eject_all(self) -> Dict[str, Any]:
+        ejected = self.node.eject_all()
+        if any(ejected.values()):
+            self.network.mine()
+        return {"ejected": {payment_id: [tx.txid for tx in transactions]
+                            for payment_id, transactions in ejected.items()}}
+
+    @COMMANDS.command(
+        "reclaim",
+        doc="Settle all channels and reclaim every deposit on-chain.")
+    async def _cmd_reclaim(self) -> Dict[str, Any]:
+        reclaimed = self.node.reclaim_all()
+        return {"reclaimed": reclaimed,
+                "onchain": self.node.onchain_balance()}
+
+    @COMMANDS.command("mine", doc="Mine the mempool into a block.")
+    async def _cmd_mine(self) -> Dict[str, Any]:
+        self.network.mine()
+        return {"height": self.network.chain.height}
+
+    @COMMANDS.command("balance", doc="On-chain balance of this node.")
+    async def _cmd_balance(self) -> Dict[str, Any]:
+        return {"name": self.name,
+                "onchain": self.node.onchain_balance()}
+
+    @COMMANDS.command(
+        "channel",
+        Param("channel_id"),
+        doc="Snapshot one channel's balances and deposits.")
+    async def _cmd_channel(self, channel_id: str) -> Dict[str, Any]:
+        snapshot = self.node.program.channel_snapshot(channel_id)
+        return {
+            "channel_id": snapshot["channel_id"],
+            "is_open": snapshot["is_open"],
+            "my_balance": snapshot["my_balance"],
+            "remote_balance": snapshot["remote_balance"],
+            "my_deposits": [f"{o.txid}:{o.index}"
+                            for o in snapshot["my_deposits"]],
+            "remote_deposits": [f"{o.txid}:{o.index}"
+                                for o in snapshot["remote_deposits"]],
+        }
+
+    @COMMANDS.command("stats", doc="Transport, chain, and uptime stats.")
+    async def _cmd_stats(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "transport": self.net.stats(),
+            "chain": {"height": self.network.chain.height,
+                      "mempool": self.network.chain.mempool_size()},
+            "uptime_s": self.scheduler.now,
+            "restored": self.restored,
+        }
+
+    @COMMANDS.command("metrics", doc="Snapshot of the obs metrics registry.")
+    async def _cmd_metrics(self) -> Dict[str, Any]:
+        return {"metrics": self.metrics.snapshot()}
+
+    @COMMANDS.command(
+        "fault",
+        Param("action", doc="crash | sever | blackhole | heal"),
+        Param("peer", required=False, doc="peer link for sever/blackhole/heal"),
+        doc="Inject a fault into this daemon (testing only).")
+    async def _cmd_fault(self, action: str,
+                         peer: Optional[str] = None) -> Dict[str, Any]:
+        if action == "crash":
+            crash_enclave(self.node.enclave)
+        elif action in ("sever", "blackhole", "heal"):
+            if not peer:
+                raise CommandError(
+                    f"fault action {action!r} requires 'peer'",
+                    code="bad_request")
+            if action == "sever":
+                self.net.sever(peer)
+            elif action == "blackhole":
+                self.net.blackhole(peer)
+            else:
+                self.net.restore(peer)
+        else:
+            raise CommandError(
+                f"unknown fault action {action!r} "
+                "(crash | sever | blackhole | heal)", code="bad_request")
+        if self.metrics.enabled:
+            self.metrics.inc("faults.injected")
+            self.metrics.inc(f"faults.injected[{action}]")
+        return {"action": action, "peer": peer}
+
+    @COMMANDS.command("shutdown", doc="Stop the daemon gracefully.")
+    async def _cmd_shutdown(self) -> Dict[str, Any]:
+        self._shutdown.set()
+        return {"stopping": True}
 
     # ------------------------------------------------------------------
     # Control server (line JSON)
@@ -457,12 +749,24 @@ class NodeDaemon:
                 if not line:
                     break
                 try:
-                    request = json.loads(line)
-                    result = await self._dispatch_command(request)
+                    try:
+                        request = json.loads(line)
+                    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                        raise CommandError(
+                            f"request is not valid JSON: {exc}",
+                            code="bad_request") from None
+                    if not isinstance(request, dict):
+                        raise CommandError("request must be a JSON object",
+                                           code="bad_request")
+                    result = await COMMANDS.dispatch(self, request)
                     response = {"ok": True, **result}
                 except Exception as exc:  # noqa: BLE001 — report, don't die
-                    response = {"ok": False,
+                    code = code_for_exception(exc)
+                    response = {"ok": False, "code": code,
                                 "error": f"{type(exc).__name__}: {exc}"}
+                    if self.metrics.enabled:
+                        self.metrics.inc("control.errors")
+                        self.metrics.inc(f"control.errors[{code}]")
                 writer.write(json.dumps(response).encode() + b"\n")
                 await writer.drain()
         except asyncio.CancelledError:
@@ -472,82 +776,19 @@ class NodeDaemon:
         finally:
             writer.close()
 
-    async def _dispatch_command(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        command = request.get("cmd")
-        if command == "ping":
-            return {"name": self.name, "now": self.scheduler.now}
-        if command == "connect":
-            return await self.connect(request["peer"], request["host"],
-                                      int(request["port"]))
-        if command == "open-channel":
-            return await self.open_channel(request["peer"],
-                                           request.get("channel_id"))
-        if command == "deposit":
-            return await self.deposit(int(request["value"]))
-        if command == "approve-associate":
-            return await self.approve_associate(
-                request["peer"], request["channel_id"], request["txid"]
-            )
-        if command == "pay":
-            return await self.pay(request["channel_id"], int(request["amount"]))
-        if command == "bench-pay":
-            return await self.bench_pay(
-                request["channel_id"], int(request.get("amount", 1)),
-                int(request["count"]),
-            )
-        if command == "bench-latency":
-            return await self.bench_latency(
-                request["channel_id"], int(request.get("amount", 1)),
-                int(request["count"]),
-            )
-        if command == "echo":
-            rtt = await self._echo_round_trip(request["peer"])
-            return {"peer": request["peer"], "rtt_s": rtt}
-        if command == "settle":
-            return await self.settle(request["channel_id"])
-        if command == "mine":
-            self.network.mine()
-            return {"height": self.network.chain.height}
-        if command == "balance":
-            return {"name": self.name,
-                    "onchain": self.node.onchain_balance()}
-        if command == "channel":
-            snapshot = self.node.program.channel_snapshot(request["channel_id"])
-            return {
-                "channel_id": snapshot["channel_id"],
-                "is_open": snapshot["is_open"],
-                "my_balance": snapshot["my_balance"],
-                "remote_balance": snapshot["remote_balance"],
-                "my_deposits": [f"{o.txid}:{o.index}"
-                                for o in snapshot["my_deposits"]],
-                "remote_deposits": [f"{o.txid}:{o.index}"
-                                    for o in snapshot["remote_deposits"]],
-            }
-        if command == "stats":
-            return {
-                "name": self.name,
-                "transport": self.net.stats(),
-                "chain": {"height": self.network.chain.height,
-                          "mempool": self.network.chain.mempool_size()},
-                "uptime_s": self.scheduler.now,
-            }
-        if command == "metrics":
-            return {"metrics": self.metrics.snapshot()}
-        if command == "shutdown":
-            self._shutdown.set()
-            return {"stopping": True}
-        raise ReproError(f"unknown command {command!r}")
-
 
 async def serve(name: str, host: str, port: int, control_port: int,
                 allocations: Dict[str, int],
+                state_dir: Optional[str] = None,
                 announce: bool = True) -> None:
     """Run a daemon until its control API receives ``shutdown``."""
     daemon = NodeDaemon(name, host=host, port=port,
-                        control_port=control_port, allocations=allocations)
+                        control_port=control_port, allocations=allocations,
+                        state_dir=state_dir)
     peer_port, ctrl_port = await daemon.start()
     if announce:
         # Machine-readable startup line so launchers can scrape the ports.
         print(json.dumps({"name": name, "host": host, "port": peer_port,
-                          "control_port": ctrl_port}), flush=True)
+                          "control_port": ctrl_port,
+                          "restored": daemon.restored}), flush=True)
     await daemon.run_until_shutdown()

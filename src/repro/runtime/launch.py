@@ -39,6 +39,7 @@ def spawn_daemon(
     control_port: int,
     allocations: Dict[str, int],
     host: str = HOST,
+    state_dir: Optional[str] = None,
     extra_args: Sequence[str] = (),
 ) -> subprocess.Popen:
     """Start ``python -m repro.runtime serve`` as a subprocess."""
@@ -49,6 +50,8 @@ def spawn_daemon(
     ]
     for participant, amount in sorted(allocations.items()):
         command += ["--fund", f"{participant}={amount}"]
+    if state_dir is not None:
+        command += ["--state-dir", state_dir]
     command += list(extra_args)
     env = dict(os.environ)
     env["PYTHONPATH"] = _src_root() + os.pathsep + env.get("PYTHONPATH", "")
@@ -63,12 +66,16 @@ class DaemonHandle:
 
     def __init__(self, name: str, process: subprocess.Popen,
                  port: int, control_port: int,
-                 client: ControlClient) -> None:
+                 client: ControlClient,
+                 allocations: Optional[Dict[str, int]] = None,
+                 state_dir: Optional[str] = None) -> None:
         self.name = name
         self.process = process
         self.port = port
         self.control_port = control_port
         self.control = client
+        self.allocations = dict(allocations or {})
+        self.state_dir = state_dir
 
     def shutdown(self, timeout: float = 10.0) -> None:
         try:
@@ -83,16 +90,44 @@ class DaemonHandle:
         finally:
             self.control.close()
 
+    def kill(self) -> None:
+        """SIGKILL — no shutdown handshake; the crash-recovery tests'
+        power-cord pull."""
+        self.process.kill()
+        self.process.wait()
+        try:
+            self.control.close()
+        except Exception:  # noqa: BLE001 — peer may have reset it already
+            pass
+
+    def respawn(self, startup_timeout: float = 20.0) -> "DaemonHandle":
+        """Start a fresh process on the same ports and state directory
+        (requires the old process to be dead).  Returns a new handle —
+        with a ``state_dir`` the daemon restores its sealed state."""
+        if self.process.poll() is None:
+            raise RuntimeError(f"daemon {self.name} is still running")
+        process = spawn_daemon(self.name, self.port, self.control_port,
+                               self.allocations, state_dir=self.state_dir)
+        return DaemonHandle(
+            self.name, process, self.port, self.control_port,
+            wait_for_control(HOST, self.control_port,
+                             timeout=startup_timeout),
+            allocations=self.allocations, state_dir=self.state_dir,
+        )
+
 
 def launch_network(
     allocations: Dict[str, int],
     names: Optional[Sequence[str]] = None,
     startup_timeout: float = 20.0,
+    state_dir: Optional[str] = None,
 ) -> Tuple[Dict[str, DaemonHandle], Dict[str, Tuple[int, int]]]:
     """Spawn one daemon per name and connect a full peer mesh.
 
     Returns handles plus the (peer port, control port) map.  Every daemon
-    gets the same allocation, so their genesis blocks agree.
+    gets the same allocation, so their genesis blocks agree.  With a
+    ``state_dir``, daemons seal state to ``<state_dir>/<name>/`` and can
+    be killed and respawned (see :meth:`DaemonHandle.respawn`).
     """
     names = list(names if names is not None else sorted(allocations))
     ports = {name: (free_port(), free_port()) for name in names}
@@ -100,11 +135,13 @@ def launch_network(
     try:
         for name in names:
             port, control_port = ports[name]
-            process = spawn_daemon(name, port, control_port, allocations)
+            process = spawn_daemon(name, port, control_port, allocations,
+                                   state_dir=state_dir)
             handles[name] = DaemonHandle(
                 name, process, port, control_port,
                 wait_for_control(HOST, control_port,
                                  timeout=startup_timeout),
+                allocations=allocations, state_dir=state_dir,
             )
         seen = set()
         for name in names:

@@ -32,15 +32,22 @@ class Hello:
     port: int
     settlement_address: str
     quote: Quote
+    # The sender's per-boot session nonce.  Both sides hash the two nonces
+    # (order-independently) into the secure channel's key derivation, so a
+    # daemon restart yields fresh channel keys — see
+    # ``NodeDaemon._install_peer``.
+    session: bytes = b""
 
 
 @dataclass(frozen=True)
 class HelloAck:
-    """Handshake response: the responder's identity and quote."""
+    """Handshake response: the responder's identity, quote, and session
+    nonce (same role as :class:`Hello.session`)."""
 
     name: str
     settlement_address: str
     quote: Quote
+    session: bytes = b""
 
 
 @dataclass(frozen=True)

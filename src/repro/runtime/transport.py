@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import random
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import NetworkError
@@ -67,6 +68,11 @@ class _PeerLink:
         self.connected = asyncio.Event()
         self.drops = 0
         self.reconnects = 0
+        # Fault injection: a black-holed link keeps its TCP connection but
+        # silently discards outbound frames — the peer sees silence, not a
+        # reset, so nothing triggers a redial.
+        self.blackholed = False
+        self.blackhole_drops = 0
         self.task: Optional[asyncio.Task] = None
 
     def start(self) -> None:
@@ -88,6 +94,14 @@ class _PeerLink:
 
     async def _run(self) -> None:
         backoff = self.network.backoff_base
+        # A frame popped from the queue but whose write raised.  Kept
+        # across redials and re-sent first: the first write to a socket
+        # whose peer died since the last frame fails only *after* the pop,
+        # and dropping it there silently loses exactly one frame per peer
+        # crash (at-least-once beats at-most-once here — receivers already
+        # tolerate duplicates: gossip is idempotent on txid and enclave
+        # envelopes carry replay counters).
+        pending: Optional[bytes] = None
         while True:
             writer = None
             try:
@@ -98,9 +112,18 @@ class _PeerLink:
                 backoff = self.network.backoff_base
                 self.connected.set()
                 while True:
-                    frame = await self.queue.get()
-                    writer.write(frame)
+                    if pending is None:
+                        pending = await self.queue.get()
+                    if self.blackholed:
+                        self.blackhole_drops += 1
+                        if self.network._metrics.enabled:
+                            self.network._metrics.inc(
+                                "runtime.blackhole_drops")
+                        pending = None
+                        continue
+                    writer.write(pending)
                     await writer.drain()
+                    pending = None
             except asyncio.CancelledError:
                 break
             except (OSError, asyncio.IncompleteReadError,
@@ -111,7 +134,9 @@ class _PeerLink:
                     self.network._metrics.inc("runtime.reconnects")
                 logger.debug("%s->%s: link down (%s); retry in %.2fs",
                              self.network.name, self.name, exc, backoff)
-                await asyncio.sleep(backoff)
+                # Jitter desynchronises redial stampedes when several
+                # links lost the same peer at the same moment.
+                await asyncio.sleep(backoff * (1.0 + random.random() * 0.5))
                 backoff = min(backoff * 2, self.network.backoff_cap)
             finally:
                 if writer is not None:
@@ -133,6 +158,15 @@ class _PeerLink:
         handler = self.network.hello_ack_handler
         if handler is not None:
             handler(ack)
+
+    def sever(self) -> None:
+        """Cut the TCP connection now.  The dial loop restarts from
+        scratch, so the link heals itself after the backoff — a sever
+        models a transient network cut, not a removed peer."""
+        self.connected.clear()
+        if self.task is not None:
+            self.task.cancel()
+        self.start()
 
     def stop(self) -> None:
         if self.task is not None:
@@ -212,7 +246,36 @@ class AsyncTcpNetwork(BaseNetwork):
         link = self._links.get(name)
         if link is None:
             raise NetworkError(f"no link to {name!r}")
-        await asyncio.wait_for(link.connected.wait(), timeout)
+        try:
+            await asyncio.wait_for(link.connected.wait(), timeout)
+        except asyncio.TimeoutError:
+            raise NetworkError(
+                f"{self.name}->{name}: not connected within {timeout:.1f}s "
+                f"(dialing {link.host}:{link.port}, "
+                f"{link.reconnects} redials so far)"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Fault injection (driven by the daemon's ``fault`` control command)
+    # ------------------------------------------------------------------
+
+    def sever(self, name: str) -> None:
+        """Drop the TCP connection to ``name``; it redials with backoff."""
+        self._link_for_fault(name).sever()
+
+    def blackhole(self, name: str) -> None:
+        """Silently discard all further outbound frames to ``name``."""
+        self._link_for_fault(name).blackholed = True
+
+    def restore(self, name: str) -> None:
+        """Lift a blackhole on the link to ``name``."""
+        self._link_for_fault(name).blackholed = False
+
+    def _link_for_fault(self, name: str) -> _PeerLink:
+        link = self._links.get(name)
+        if link is None:
+            raise NetworkError(f"no link to {name!r}")
+        return link
 
     # ------------------------------------------------------------------
     # Sending (BaseNetwork interface)
@@ -339,6 +402,8 @@ class AsyncTcpNetwork(BaseNetwork):
                     "queued": link.queue.qsize(),
                     "drops": link.drops,
                     "reconnects": link.reconnects,
+                    "blackholed": link.blackholed,
+                    "blackhole_drops": link.blackhole_drops,
                 }
                 for name, link in self._links.items()
             },

@@ -22,10 +22,13 @@ class MonotonicCounter:
     """One counter.  Values only move up; increments are rate-limited."""
 
     def __init__(self, counter_id: int,
-                 increment_delay: float = DEFAULT_INCREMENT_DELAY) -> None:
+                 increment_delay: float = DEFAULT_INCREMENT_DELAY,
+                 initial: int = 0) -> None:
+        if initial < 0:
+            raise TEEError(f"counter value cannot be negative: {initial}")
         self.counter_id = counter_id
         self.increment_delay = increment_delay
-        self._value = 0
+        self._value = initial
         # Simulated time at which the most recent increment completes.
         self._busy_until = 0.0
 
@@ -72,10 +75,17 @@ class MonotonicCounterBank:
         self._counters: Dict[int, MonotonicCounter] = {}
         self._next_id = 0
 
-    def create(self) -> MonotonicCounter:
+    def create(self, initial: int = 0) -> MonotonicCounter:
+        """Allocate a counter.
+
+        ``initial`` models the hardware property that counters survive
+        power cycles: a restarted platform re-opens its counter at the
+        persisted value, not at zero (otherwise every reboot would be a
+        rollback opportunity)."""
         if len(self._counters) >= self.MAX_COUNTERS:
             raise TEEError("monotonic counter quota exhausted")
-        counter = MonotonicCounter(self._next_id, self.increment_delay)
+        counter = MonotonicCounter(self._next_id, self.increment_delay,
+                                   initial=initial)
         self._counters[self._next_id] = counter
         self._next_id += 1
         return counter

@@ -30,6 +30,35 @@ class SealedBlob:
     counter_value: int
     mac: bytes
 
+    _WIRE_MAGIC = b"SEAL1"
+
+    def to_bytes(self) -> bytes:
+        """Flat byte encoding for storage on untrusted disk.
+
+        The blob is already integrity-protected by its MAC; this framing
+        adds nothing security-relevant, it just avoids pickling enclave
+        artefacts outside the enclave boundary."""
+        return (self._WIRE_MAGIC
+                + self.counter_value.to_bytes(8, "big")
+                + len(self.mac).to_bytes(2, "big") + self.mac
+                + self.payload)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "SealedBlob":
+        magic = cls._WIRE_MAGIC
+        if len(raw) < len(magic) + 10 or not raw.startswith(magic):
+            raise SealingError("not a serialised sealed blob")
+        offset = len(magic)
+        counter_value = int.from_bytes(raw[offset:offset + 8], "big")
+        offset += 8
+        mac_len = int.from_bytes(raw[offset:offset + 2], "big")
+        offset += 2
+        mac = raw[offset:offset + mac_len]
+        if len(mac) != mac_len:
+            raise SealingError("truncated sealed blob")
+        return cls(payload=raw[offset + mac_len:],
+                   counter_value=counter_value, mac=mac)
+
 
 class SealingService:
     """Per-platform, per-measurement sealing keys.
