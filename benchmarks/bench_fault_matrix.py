@@ -1,9 +1,10 @@
 """Crash fault matrix sweep: coverage and recovery cost, archived.
 
 Runs every (role × stage) crash cell of Algorithm 2 plus the two
-committee-loss scenarios under a live metrics registry, then writes the
-summary — per-cell verdicts and the full fault/recovery counter snapshot
-— to ``BENCH_fault_matrix.json``.  The chaos CI job uploads that sidecar
+committee-loss scenarios under a live metrics registry and tracer, then
+writes the summary — per-cell verdicts, the full fault/recovery counter
+snapshot, the span timeline, and per-stage residency histograms — to
+``BENCH_fault_matrix.json``.  The chaos CI job uploads that sidecar
 as its artifact, so a red cell in a nightly run arrives with the exact
 counters that produced it.
 
@@ -25,16 +26,42 @@ from repro.faults import (
     run_matrix,
     summarise,
 )
-from repro.obs import NOOP, MetricsRegistry, set_metrics
+from repro.obs import (
+    NO_TRACE,
+    NOOP,
+    MetricsRegistry,
+    Tracer,
+    set_metrics,
+    set_tracer,
+)
 
 from conftest import report
 
 pytestmark = pytest.mark.chaos
 
+# The sweep crashes hundreds of sessions; keep every span.
+TRACE_CAPACITY = 65_536
+
+
+def _stage_residency(metrics):
+    """Mean/max residency per pipeline stage, from the
+    ``multihop.stage_seconds[*]`` histograms the sweep populated."""
+    histograms = metrics.snapshot()["histograms"]
+    return {
+        name[len("multihop.stage_seconds["):-1]: {
+            "count": data["count"], "mean_s": data["mean"],
+            "max_s": data["max"],
+        }
+        for name, data in histograms.items()
+        if name.startswith("multihop.stage_seconds[")
+    }
+
 
 def test_fault_matrix_sweep():
     metrics = MetricsRegistry()
+    tracer = Tracer(capacity=TRACE_CAPACITY)
     set_metrics(metrics)
+    set_tracer(tracer)
     try:
         started = time.perf_counter()
         cells = run_matrix()
@@ -46,6 +73,7 @@ def test_fault_matrix_sweep():
         committee_elapsed = time.perf_counter() - started
     finally:
         set_metrics(NOOP)
+        set_tracer(NO_TRACE)
 
     summary = summarise(cells)
     counters = metrics.snapshot()["counters"]
@@ -70,9 +98,11 @@ def test_fault_matrix_sweep():
         results,
         sidecar="fault_matrix",
         metrics=metrics,
+        tracer=tracer,
         extra={
             "summary": summary,
             "committee": {"member_loss": member, "primary_loss": primary},
+            "stage_residency": _stage_residency(metrics),
         },
     )
 

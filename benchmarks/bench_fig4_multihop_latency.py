@@ -8,16 +8,31 @@ asserted here:
 * Teechain without fault tolerance is ≈2× LN (6 vs 3 messages per hop);
 * replication dominates the Teechain gradients (1 replica ≈ 5 s at 2 hops
   rising to ≈23 s at 11 hops).
+
+Alongside the closed-form model, one actual multihop payment runs through
+the DES with causal tracing on: the ``multihop.stage_seconds[*]``
+histograms and the full span timeline land in the sidecar, so downstream
+perf PRs can see *where* in the six-stage pipeline simulated latency goes
+— not just the end-to-end figure.
 """
 
 import pytest
 
+from repro import obs
 from repro.bench.harness import ExperimentResult, within_factor
 from repro.bench.timing import MultihopTimingModel
+from repro.core.node import TeechainNetwork
+from repro.network import Topology
 
 from conftest import report
 
 HOPS = list(range(2, 12))
+
+DES_HOPS = 3
+DES_RTT_S = 0.1
+DES_GENESIS = 500_000
+DES_DEPOSIT = 100_000
+DES_AMOUNT = 1_000
 
 # Fig. 4 anchor points read off the published plot (seconds).
 PAPER_POINTS = {
@@ -43,9 +58,59 @@ def fig4_series(model: MultihopTimingModel):
     return series
 
 
+def des_stage_profile(hops=DES_HOPS, rtt_s=DES_RTT_S):
+    """One traced multihop payment over the DES.
+
+    Builds a chain of ``hops + 1`` nodes on a uniform topology, pays
+    end-to-end, and returns ``(registry, tracer, makespan)`` — the
+    registry holds the per-stage ``multihop.stage_seconds[*]``
+    histograms, the tracer the full causal span timeline, both in
+    simulated seconds.
+    """
+    names = [f"hop{index}" for index in range(hops + 1)]
+    topology = Topology.uniform(names, rtt=rtt_s)
+    network = TeechainNetwork(transport="simulated", topology=topology)
+    nodes = [network.create_node(name, funds=DES_GENESIS) for name in names]
+    for payer, payee in zip(nodes, nodes[1:]):
+        channel = payer.open_channel(payee)
+        network.run()
+        record = payer.create_deposit(DES_DEPOSIT)
+        payer.approve_deposit(payee, record)
+        network.run()
+        payer.associate_deposit(channel, record)
+        network.run()
+
+    with obs.collecting() as (registry, tracer):
+        tracer.bind_clock(lambda: network.scheduler.now)
+        started = network.scheduler.now
+        payment_id = nodes[0].pay_multihop(nodes, DES_AMOUNT)
+        network.run()
+        makespan = network.scheduler.now - started
+        assert nodes[0].record_multihop_result(
+            payment_id, names[-1], DES_AMOUNT)
+    return registry, tracer, makespan
+
+
+def stage_summary(registry):
+    """Per-stage residency means from the ``multihop.stage_seconds[*]``
+    histograms, for the sidecar's quick-look summary."""
+    histograms = registry.snapshot()["histograms"]
+    return {
+        name[len("multihop.stage_seconds["):-1]: {
+            "count": data["count"], "mean_s": data["mean"],
+            "max_s": data["max"],
+        }
+        for name, data in histograms.items()
+        if name.startswith("multihop.stage_seconds[")
+    }
+
+
 def test_fig4_multihop_latency(benchmark):
     model = MultihopTimingModel.paper_setup()
     series = benchmark(fig4_series, model)
+
+    registry, tracer, makespan = des_stage_profile()
+    stages = stage_summary(registry)
 
     results = []
     for (name, hops), paper_value in PAPER_POINTS.items():
@@ -53,7 +118,19 @@ def test_fig4_multihop_latency(benchmark):
         results.append(ExperimentResult(
             "Fig 4", f"{name} @ {hops} hops", "latency", measured,
             paper_value, "s"))
-    report("Figure 4: multi-hop payment latency", results)
+    results.append(ExperimentResult(
+        "Fig 4", f"DES payment @ {DES_HOPS} hops "
+        f"(rtt={DES_RTT_S * 1000:.0f}ms)", "makespan", makespan, None, "s"))
+    report(
+        "Figure 4: multi-hop payment latency", results,
+        sidecar="fig4_multihop_latency",
+        metrics=registry,
+        tracer=tracer,
+        extra={
+            "des": {"hops": DES_HOPS, "rtt_s": DES_RTT_S,
+                    "makespan_s": makespan, "stages": stages},
+        },
+    )
     print("\nFull series (seconds per hop count):")
     header = "hops: " + " ".join(f"{h:>6}" for h in HOPS)
     print(header)
@@ -80,3 +157,13 @@ def test_fig4_multihop_latency(benchmark):
     for index in range(len(HOPS)):
         assert (noft[index] < series["Single replica"][index]
                 < series["Two replicas"][index])
+
+    # The traced DES run profiled the whole pipeline: every participant
+    # emitted all six stage spans, and the pipeline stages actually
+    # accumulated simulated residency time.
+    stage_spans = [event for event in tracer.events()
+                   if event["event"].startswith("multihop.stage.")]
+    assert len(stage_spans) == 6 * (DES_HOPS + 1)
+    assert makespan > 0
+    assert any(data["mean_s"] > 0 for name, data in stages.items()
+               if name != "idle")

@@ -12,16 +12,29 @@ not a paper number: the simulator models only link latency and bandwidth,
 so its figures are the network-bound ceiling — the gap to the live
 ``measured`` column is the real cost of enclave crypto and the Python
 runtime.  Paper Table 1 context rows ride along in the sidecar.
+
+The daemons run with causal tracing on: after the workload, each one's
+``trace_dump`` is merged into a single skew-corrected timeline and
+written as ``BENCH_live_loopback_trace.json`` — Perfetto-loadable, and
+validated in CI against ``perfetto_trace.schema.json``.
 """
+
+import json
+import os
 
 import pytest
 
 from repro.bench.harness import ExperimentResult
 from repro.core.node import TeechainNetwork
 from repro.network import Topology
+from repro.obs import chrome_trace, load_json
+from repro.obs.merge import merge_dumps, validate_perfetto
 from repro.runtime.launch import launch_network
 
-from conftest import report
+from conftest import BENCH_DIR, report
+
+SCHEMA_PATH = os.path.join(BENCH_DIR, "perfetto_trace.schema.json")
+TRACE_PATH = os.path.join(BENCH_DIR, "BENCH_live_loopback_trace.json")
 
 GENESIS = 500_000
 DEPOSIT = 200_000
@@ -78,7 +91,8 @@ def des_prediction(rtt_s, count):
 
 @pytest.mark.live
 def test_live_loopback_vs_des():
-    handles, _ = launch_network({"alice": GENESIS, "bob": GENESIS})
+    handles, _ = launch_network({"alice": GENESIS, "bob": GENESIS},
+                                trace=True)
     alice = handles["alice"].control
     bob = handles["bob"].control
     try:
@@ -102,9 +116,22 @@ def test_live_loopback_vs_des():
                    "metrics": client.call("metrics")["metrics"]}
             for name, client in (("alice", alice), ("bob", bob))
         }
+        dumps = [client.call("trace_dump")
+                 for client in (alice, bob)]
     finally:
         for handle in handles.values():
             handle.shutdown()
+
+    # Merge both daemons' span rings onto alice's clock and archive the
+    # Perfetto-loadable timeline next to the sidecar (CI validates it
+    # against the checked-in schema and uploads it as an artifact).
+    merged = merge_dumps(dumps, reference="alice")
+    perfetto = chrome_trace(merged["events"])
+    with open(TRACE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(perfetto, handle, indent=2)
+        handle.write("\n")
+    assert merged["events"], "tracing was on but no spans were captured"
+    assert validate_perfetto(perfetto, load_json(SCHEMA_PATH)) == []
 
     des_throughput, des_latency = des_prediction(loopback_rtt,
                                                  LATENCY_SAMPLES)
@@ -135,6 +162,13 @@ def test_live_loopback_vs_des():
                     "latency_s": des_latency},
             "paper_table1_no_fault_tolerance": PAPER_NO_FT,
             "daemons": snapshots,
+            "trace": {
+                "perfetto_path": os.path.basename(TRACE_PATH),
+                "events": len(merged["events"]),
+                "clamped": merged["clamped"],
+                "dropped": merged["dropped"],
+                "offsets": merged["offsets"],
+            },
         },
     )
 

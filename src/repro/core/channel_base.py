@@ -48,6 +48,7 @@ from repro.errors import (
     SettlementError,
 )
 from repro.network.secure_channel import SecureChannel
+from repro.obs import get_tracer
 from repro.tee.enclave import EnclaveProgram
 
 logger = logging.getLogger(__name__)
@@ -212,7 +213,15 @@ class ChannelProtocol(EnclaveProgram):
         if self.fault_probe is not None:
             self.fault_probe(description)
         if self.replication_hook is not None:
-            self.replication_hook(description)
+            tracer = get_tracer()
+            if tracer.enabled:
+                # The barrier is where a chain round-trip would stall the
+                # pipeline; its span makes replication cost attributable
+                # per protocol operation in merged traces.
+                with tracer.span("replication.barrier", what=description):
+                    self.replication_hook(description)
+            else:
+                self.replication_hook(description)
 
     def _secure_channel_for(self, remote_key: PublicKey) -> SecureChannel:
         channel = self.secure_channels.get(remote_key.to_bytes())

@@ -81,6 +81,12 @@ class MultihopSession:
     # Simulated-clock timestamp of the last stage transition (0.0 in
     # direct mode, where no clock is bound) — feeds per-stage latency.
     stage_entered_at: float = 0.0
+    # Causal-trace bookkeeping: how many of the six pipeline stages this
+    # hop has marked with a span, and when the last mark was emitted.
+    # Distinct from ``stage``: a hop participates in stages it never
+    # *occupies* (p_n sends update straight from preUpdate handling).
+    stages_marked: int = 0
+    last_stage_mark_at: float = 0.0
 
     @property
     def amount(self) -> int:
@@ -89,6 +95,23 @@ class MultihopSession:
     def local_channel_ids(self) -> List[str]:
         return [cid for cid in (self.in_channel_id, self.out_channel_id)
                 if cid is not None]
+
+
+# The six-stage pipeline of Algorithm 2 in causal order.  Every hop
+# participates in every stage (initiating, forwarding, or consuming it),
+# and the tracer marks each participation with one span — see
+# ``MultihopMixin._mark_stages``.
+_STAGE_ORDER: Tuple[MultihopStage, ...] = (
+    MultihopStage.LOCK,
+    MultihopStage.SIGN,
+    MultihopStage.PRE_UPDATE,
+    MultihopStage.UPDATE,
+    MultihopStage.POST_UPDATE,
+    MultihopStage.RELEASE,
+)
+_STAGE_INDEX: Dict[MultihopStage, int] = {
+    stage: index for index, stage in enumerate(_STAGE_ORDER)
+}
 
 
 class MultihopMixin:
@@ -210,9 +233,48 @@ class MultihopMixin:
             metrics.observe(f"multihop.stage_seconds[{previous.value}]",
                             now - session.stage_entered_at)
             session.stage_entered_at = now
+        self._mark_stages(session, stage)
         session.stage = stage
         for channel_id in session.local_channel_ids():
             self.channels[channel_id].stage = stage
+
+    def _mark_stages(self, session: MultihopSession,
+                     upto: MultihopStage) -> None:
+        """Emit one span per pipeline stage this hop has now participated
+        in, up to and including ``upto``.
+
+        Entering a session stage means every earlier pipeline stage has
+        been handled here (p_n consuming preUpdate and sending update in
+        one ecall marks both).  The first span in a batch carries the gap
+        since this hop's previous participation; the rest are
+        zero-duration, reflecting same-ecall processing.  Together with
+        the causal context riding each message, this gives every hop all
+        six ``multihop.stage.*`` spans under one trace id.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        target = _STAGE_INDEX.get(upto)
+        if target is None:
+            return
+        now = tracer.now()
+        if session.stages_marked == 0:
+            session.last_stage_mark_at = now
+        while session.stages_marked <= target:
+            stage = _STAGE_ORDER[session.stages_marked]
+            tracer.emit(
+                f"multihop.stage.{stage.value}",
+                duration=now - session.last_stage_mark_at,
+                # Exact span begin: emit() re-reads the clock for ``t``, so
+                # reconstructing the begin as t − duration would drift by
+                # microseconds and shuffle same-instant siblings when the
+                # merge tool sorts the timeline.
+                start=session.last_stage_mark_at,
+                payment=session.path.payment_id,
+                position=session.position,
+            )
+            session.last_stage_mark_at = now
+            session.stages_marked += 1
 
     # ------------------------------------------------------------------
     # Initiation (Alg. 2 line 3)
@@ -282,6 +344,7 @@ class MultihopMixin:
             out_channel_id=None,
             stage_entered_at=get_tracer().now(),
         )
+        self._mark_stages(session, MultihopStage.LOCK)
         if in_channel is not None:
             # Alg. 2 line 64 ejects with settlements of *both* adjacent
             # channels, so the in-channel candidates are snapshotted at
@@ -602,7 +665,16 @@ class MultihopMixin:
     def _finish_session(self, session: MultihopSession) -> None:
         metrics = get_metrics()
         if metrics.enabled:
+            now = get_tracer().now()
             metrics.inc("multihop.completed")
+            # Residency time of the stage the session finishes from (the
+            # release message collapses it straight to idle).
+            metrics.observe(
+                f"multihop.stage_seconds[{session.stage.value}]",
+                now - session.stage_entered_at)
+            session.stage_entered_at = now
+        self._mark_stages(session, MultihopStage.RELEASE)
+        if get_tracer().enabled:
             get_tracer().emit("multihop.finished",
                               payment_id=session.path.payment_id,
                               hops=len(session.path.hops) - 1)

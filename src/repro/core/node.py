@@ -62,6 +62,7 @@ from repro.network.transport import (
     Message,
     Network,
 )
+from repro.obs import get_tracer, op_span
 from repro.simulation.scheduler import Scheduler
 from repro.tee.attestation import AttestationService
 from repro.tee.enclave import Enclave
@@ -216,6 +217,19 @@ class TeechainNode:
         return provide
 
     def _on_message(self, message: Message) -> None:
+        # Activating the message's causal context before the ecall (and,
+        # crucially, around the pump) makes every span emitted while
+        # handling it — and every message sent in response — a child of
+        # the sender's context: one trace follows the payment across
+        # nodes.  Untraced messages take the bare path.
+        tracer = get_tracer()
+        if message.trace is not None and tracer.enabled:
+            with tracer.activate(message.trace):
+                self._handle_delivery(message)
+        else:
+            self._handle_delivery(message)
+
+    def _handle_delivery(self, message: Message) -> None:
         from repro.errors import MessageAuthenticationError
 
         try:
@@ -472,7 +486,8 @@ class TeechainNode:
 
     def pay(self, channel_id: str, amount: int, batch_count: int = 1) -> None:
         """Single-channel payment (Alg. 1 ``pay``)."""
-        self._ecall("pay", channel_id, amount, batch_count)
+        with op_span("channel.pay", channel=channel_id, node=self.name):
+            self._ecall("pay", channel_id, amount, batch_count)
         peer = self.channels[channel_id]
         self.network.tracker.record_payment(self.name, peer, amount)
 
@@ -485,7 +500,9 @@ class TeechainNode:
         hop_names = [node.name for node in path]
         self.network.tracker.record_inflight(self.name, amount)
         try:
-            self._ecall("pay_multihop", pid, amount, hop_names)
+            with op_span("multihop.pay", payment=pid, node=self.name,
+                         hops=len(hop_names) - 1):
+                self._ecall("pay_multihop", pid, amount, hop_names)
         except MultihopError:
             self.network.tracker.resolve_inflight(
                 self.name, hop_names[-1], amount, completed=False

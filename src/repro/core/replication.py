@@ -41,7 +41,7 @@ from repro.errors import (
     ReplicationError,
     SettlementError,
 )
-from repro.obs import exponential_buckets, get_metrics
+from repro.obs import exponential_buckets, get_metrics, get_tracer
 from repro.tee.attestation import AttestationService, verify_quote
 from repro.tee.enclave import Enclave, EnclaveProgram
 
@@ -244,6 +244,15 @@ class ReplicationChain:
             metrics.inc("replication.member_updates", len(self.members))
             metrics.observe("replication.blob_bytes", len(blob),
                             buckets=_BLOB_BUCKETS)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("replication.push", chain=self.chain_id,
+                             members=len(self.members), bytes=len(blob)):
+                self._push_members(blob)
+        else:
+            self._push_members(blob)
+
+    def _push_members(self, blob: bytes) -> None:
         for member in self.members:
             try:
                 member.ecall("state_update", self.chain_id, self.version, blob)

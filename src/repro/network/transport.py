@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
-from repro.obs import get_metrics
+from repro.obs import get_metrics, get_tracer
+from repro.obs.context import TraceContext
 from repro.simulation.scheduler import Scheduler
 
 Handler = Callable[["Message"], None]
@@ -51,12 +52,17 @@ def payload_size(payload: Any) -> int:
 
 @dataclass(frozen=True)
 class Message:
-    """One delivered message."""
+    """One delivered message.
+
+    ``trace`` is the causal context riding the message — ``None`` unless
+    a tracer with an active context was installed when it was sent, so
+    untraced runs construct exactly the same object they always did."""
 
     sender: str
     destination: str
     payload: Any
     size: int = DEFAULT_MESSAGE_SIZE
+    trace: Optional[TraceContext] = None
 
 
 class BaseNetwork:
@@ -182,7 +188,8 @@ class Network(BaseNetwork):
         """
         if size is None:
             size = payload_size(payload)
-        message = Message(sender, destination, payload, size)
+        message = Message(sender, destination, payload, size,
+                          get_tracer().context)
         if not self._account_send(message):
             return
         delay = self.one_way_delay(sender, destination, size)
@@ -217,7 +224,8 @@ class InstantNetwork(BaseNetwork):
              size: Optional[int] = None) -> None:
         if size is None:
             size = payload_size(payload)
-        message = Message(sender, destination, payload, size)
+        message = Message(sender, destination, payload, size,
+                          get_tracer().context)
         if not self._account_send(message):
             return
         self._queue.append(message)

@@ -27,7 +27,15 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Tuple
 
-from repro.obs.export import build_payload, dump_json, export_json, load_json
+from repro.obs.context import TraceContext, new_span_id, new_trace_id
+from repro.obs.export import (
+    build_payload,
+    chrome_trace,
+    dump_json,
+    export_json,
+    load_json,
+    prometheus_text,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     NOOP,
@@ -62,10 +70,16 @@ __all__ = [
     "collecting",
     "emit",
     "span",
+    "op_span",
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
     "build_payload",
+    "chrome_trace",
     "dump_json",
     "export_json",
     "load_json",
+    "prometheus_text",
 ]
 
 _metrics: MetricsRegistry = NOOP
@@ -122,4 +136,13 @@ def emit(name: str, **fields: Any) -> None:
 
 def span(name: str, **fields: Any):
     """Span context manager on the current tracer (no-op by default)."""
+    return _tracer.span(name, **fields)
+
+
+def op_span(name: str, **fields: Any):
+    """Span for a user-initiated operation: starts a *new trace* when no
+    context is active (a payment issued at this node becomes a trace
+    root), otherwise nests as a child span.  No-op when tracing is off."""
+    if _tracer.context is None:
+        return _tracer.root_span(name, **fields)
     return _tracer.span(name, **fields)

@@ -1,21 +1,38 @@
-"""JSON export: the machine-readable sidecar next to every benchmark table.
+"""Exporters: JSON sidecars, Chrome/Perfetto traces, Prometheus text.
 
 Convention (see ROADMAP.md): a benchmark that prints a paper-vs-measured
 table also writes ``BENCH_<name>.json`` beside itself with the measured
 rows under ``"results"`` and the full metrics snapshot under
 ``"metrics"`` (plus ``"trace"`` when tracing was on).  Downstream perf
 PRs diff those sidecars instead of re-parsing printed tables.
+
+Two further formats target external tooling:
+
+* :func:`chrome_trace` renders trace events as the Chrome trace-event
+  JSON that Perfetto / ``chrome://tracing`` load directly — duration
+  events (``ph: "X"``) per span, one named process row per node.
+* :func:`prometheus_text` renders a metrics snapshot in the Prometheus
+  text exposition format, so a scrape of a daemon's telemetry plane
+  drops into any existing dashboard.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional
+import re
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
-__all__ = ["build_payload", "dump_json", "export_json", "load_json"]
+__all__ = [
+    "build_payload",
+    "chrome_trace",
+    "dump_json",
+    "export_json",
+    "load_json",
+    "prometheus_text",
+]
 
 
 def build_payload(metrics: Optional[MetricsRegistry] = None,
@@ -62,3 +79,122 @@ def _coerce(value: Any) -> Any:
     if isinstance(value, (set, frozenset)):
         return sorted(value)
     return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event / Perfetto JSON
+# ---------------------------------------------------------------------------
+
+_META_KEYS = frozenset(
+    ("t", "start", "event", "duration", "trace", "span", "parent", "node"))
+
+
+def chrome_trace(events: Iterable[Dict[str, Any]],
+                 default_node: str = "main") -> Dict[str, Any]:
+    """Render trace events as Chrome trace-event JSON (Perfetto-loadable).
+
+    ``events`` are the dicts produced by :meth:`Tracer.events` or
+    :func:`repro.obs.merge.merge_dumps`: ``t`` is the event's (end)
+    timestamp in seconds; events with a ``duration`` become complete
+    duration events (``ph: "X"``), the rest instants (``ph: "i"``).
+    Each distinct ``node`` field becomes a named process row.
+    """
+    pids: Dict[str, int] = {}
+    trace_events: List[Dict[str, Any]] = []
+    for event in events:
+        node = event.get("node", default_node)
+        pid = pids.get(node)
+        if pid is None:
+            pid = pids[node] = len(pids) + 1
+            trace_events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": node},
+            })
+        duration = event.get("duration")
+        end = float(event.get("t", 0.0))
+        start = float(event.get(
+            "start", end - duration if duration else end))
+        args = {key: value for key, value in event.items()
+                if key not in _META_KEYS}
+        for key in ("trace", "span", "parent"):
+            if event.get(key):
+                args[key] = event[key]
+        record: Dict[str, Any] = {
+            "name": str(event.get("event", "?")),
+            "cat": str(event.get("event", "?")).split(".", 1)[0],
+            "pid": pid,
+            "tid": 0,
+            "ts": start * 1e6,  # trace-event timestamps are microseconds
+            "args": args,
+        }
+        if duration is not None:
+            record["ph"] = "X"
+            record["dur"] = float(duration) * 1e6
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_NAME_WITH_LABEL = re.compile(r"^(?P<base>[^\[]+)\[(?P<label>.*)\]$")
+
+
+def _prom_name(name: str) -> str:
+    """A repro metric name as a valid Prometheus metric name."""
+    return _INVALID_METRIC_CHARS.sub("_", name)
+
+
+def _prom_split(name: str) -> "tuple[str, str]":
+    """Split ``base[label]`` names into ``(metric, label-clause)`` —
+    the bracket convention used across the codebase maps onto one
+    ``key=`` label."""
+    match = _NAME_WITH_LABEL.match(name)
+    if not match:
+        return _prom_name(name), ""
+    label = match.group("label").replace("\\", "\\\\").replace('"', '\\"')
+    return _prom_name(match.group("base")), f'{{key="{label}"}}'
+
+
+def prometheus_text(snapshot: Dict[str, Dict[str, Any]],
+                    prefix: str = "repro_") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in the Prometheus text
+    exposition format (version 0.0.4)."""
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def header(metric: str, kind: str) -> None:
+        if typed.get(metric) != kind:
+            typed[metric] = kind
+            lines.append(f"# TYPE {metric} {kind}")
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric, labels = _prom_split(name)
+        metric = f"{prefix}{metric}_total"
+        header(metric, "counter")
+        lines.append(f"{metric}{labels} {value}")
+    for name, gauge in snapshot.get("gauges", {}).items():
+        metric, labels = _prom_split(name)
+        metric = f"{prefix}{metric}"
+        header(metric, "gauge")
+        lines.append(f"{metric}{labels} {gauge['value']}")
+    for name, histogram in snapshot.get("histograms", {}).items():
+        metric, labels = _prom_split(name)
+        metric = f"{prefix}{metric}"
+        header(metric, "histogram")
+        key = labels[1:-1] + "," if labels else ""
+        cumulative = 0
+        for bound, count in zip(histogram["bounds"], histogram["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{{key}le="{bound}"}} {cumulative}')
+        cumulative += histogram["counts"][len(histogram["bounds"])]
+        lines.append(f'{metric}_bucket{{{key}le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum{labels} {histogram['sum']}")
+        lines.append(f"{metric}_count{labels} {histogram['count']}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,292 @@
+"""Merge per-node trace dumps into one skew-corrected causal timeline.
+
+Each daemon's tracer stamps events with *its own* clock — a
+``WallClockScheduler`` whose zero is the process start, so two daemons'
+timestamps are offset by their boot skew.  The peer handshake carries an
+NTP-style timestamp exchange (``Hello.t_sent`` /
+``HelloAck.t_echo,t_received,t_sent``) from which each connecting daemon
+estimates ``peer_clock − my_clock`` per peer; those estimates arrive
+here inside :meth:`TelemetryCollector.trace_dump` payloads.
+
+:func:`merge_dumps` chains the pairwise estimates from a reference node
+outward (the offset graph of a connected mesh reaches every node),
+rewrites every event onto the reference clock, and sorts the result into
+one timeline.  Residual estimation error can still leave a child span
+starting microseconds before its parent; the merge clamps such starts to
+the parent's (counting how often), so the output is causally monotone by
+construction and a non-zero clamp count is itself a skew-quality signal.
+
+Run as a tool::
+
+    python -m repro.obs.merge dump_a.json dump_b.json \
+        -o merged.json --perfetto trace.json
+
+and as the CI schema gate::
+
+    python -m repro.obs.merge --validate-perfetto trace.json \
+        --schema benchmarks/perfetto_trace.schema.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.export import chrome_trace, dump_json, load_json
+
+__all__ = ["estimate_offset", "merge_dumps", "validate_perfetto", "main"]
+
+
+def estimate_offset(t_sent: float, t_echo: float, t_received: float,
+                    t_ack_sent: float, t_ack_received: float) -> float:
+    """NTP-style clock offset of the responder relative to the requester.
+
+    ``t_sent``/``t_ack_received`` are requester-clock stamps around the
+    round trip; ``t_received``/``t_ack_sent`` the responder-clock stamps
+    inside it (``t_echo`` is the echoed ``t_sent``, letting the requester
+    stay stateless).  Positive means the responder's clock reads ahead.
+    """
+    outbound = t_received - t_echo
+    inbound = t_ack_sent - t_ack_received
+    return (outbound + inbound) / 2.0
+
+
+def _resolve_deltas(dumps: List[Dict[str, Any]],
+                    reference: str) -> Dict[str, float]:
+    """Per-node correction ``delta`` such that ``t_ref = t_node + delta``.
+
+    Breadth-first over the handshake-offset graph from the reference;
+    nodes the graph does not reach fall back to wall-clock alignment
+    (every dump records its wall/local clock pair at dump time).
+    """
+    offsets: Dict[str, Dict[str, float]] = {}
+    for dump in dumps:
+        node = dump["node"]
+        for peer, offset in dump.get("peer_offsets", {}).items():
+            # offset = peer_clock − node_clock; store both directions.
+            offsets.setdefault(node, {})[peer] = offset
+            offsets.setdefault(peer, {}).setdefault(node, -offset)
+
+    deltas: Dict[str, float] = {reference: 0.0}
+    queue = deque([reference])
+    while queue:
+        node = queue.popleft()
+        for peer, offset in offsets.get(node, {}).items():
+            if peer in deltas:
+                continue
+            # t_node = t_peer − offset  ⇒  delta_peer = delta_node − offset
+            deltas[peer] = deltas[node] - offset
+            queue.append(peer)
+
+    wall_anchor: Dict[str, float] = {
+        dump["node"]: dump.get("wall", 0.0) - dump.get("now", 0.0)
+        for dump in dumps
+    }
+    for dump in dumps:
+        node = dump["node"]
+        if node not in deltas:
+            deltas[node] = (wall_anchor.get(node, 0.0)
+                            - wall_anchor.get(reference, 0.0))
+    return deltas
+
+
+def merge_dumps(dumps: Iterable[Dict[str, Any]],
+                reference: Optional[str] = None) -> Dict[str, Any]:
+    """Assemble per-node :meth:`trace_dump` payloads into one timeline.
+
+    Returns ``{"reference", "offsets", "nodes", "clamped", "dropped",
+    "events"}`` where every event carries its ``node``, a skew-corrected
+    end time ``t``, and a causally clamped ``start``.
+    """
+    dumps = list(dumps)
+    if not dumps:
+        return {"reference": None, "offsets": {}, "nodes": [],
+                "clamped": 0, "dropped": 0, "events": []}
+    if reference is None:
+        reference = dumps[0]["node"]
+    deltas = _resolve_deltas(dumps, reference)
+
+    events: List[Dict[str, Any]] = []
+    dropped = 0
+    for dump in dumps:
+        node = dump["node"]
+        delta = deltas[node]
+        dropped += dump.get("dropped", 0)
+        for event in dump.get("events", []):
+            merged = dict(event)
+            end = float(merged.get("t", 0.0)) + delta
+            duration = merged.get("duration")
+            raw_start = merged.get("start")
+            merged["t"] = end
+            if raw_start is not None:
+                # The emitter recorded its exact begin (same clock as
+                # ``t``); trust it over ``t − duration``, which drifts by
+                # the microseconds between clock reads inside emit().
+                merged["start"] = float(raw_start) + delta
+            else:
+                merged["start"] = end - duration if duration else end
+            merged["node"] = node
+            events.append(merged)
+
+    # Causal clamp: a child span must not start before its parent.  The
+    # fixpoint walks parent chains with memoisation, so grandchildren see
+    # their parent's already-clamped start.
+    by_span: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        span_id = event.get("span")
+        if span_id:
+            by_span.setdefault(span_id, event)
+    clamped = 0
+    resolved: Dict[str, float] = {}
+
+    def clamped_start(event: Dict[str, Any]) -> float:
+        span_id = event.get("span")
+        if span_id and span_id in resolved:
+            return resolved[span_id]
+        start = float(event["start"])
+        parent_id = event.get("parent")
+        parent = by_span.get(parent_id) if parent_id else None
+        if parent is not None and parent is not event:
+            floor = clamped_start(parent)
+            if start < floor:
+                start = floor
+        if span_id:
+            resolved[span_id] = start
+        return start
+
+    for event in events:
+        start = clamped_start(event)
+        if start != event["start"]:
+            clamped += 1
+            event["start"] = start
+            if event["t"] < start:
+                event["t"] = start
+
+    events.sort(key=lambda event: (event["start"], event["t"]))
+    return {
+        "reference": reference,
+        "offsets": deltas,
+        "nodes": sorted(dump["node"] for dump in dumps),
+        "clamped": clamped,
+        "dropped": dropped,
+        "events": events,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Minimal JSON-schema validation (stdlib-only: CI gates the Perfetto
+# export against a checked-in schema without a jsonschema dependency).
+# ---------------------------------------------------------------------------
+
+_TYPE_CHECKS = {
+    "object": lambda value: isinstance(value, dict),
+    "array": lambda value: isinstance(value, list),
+    "string": lambda value: isinstance(value, str),
+    "number": lambda value: (isinstance(value, (int, float))
+                             and not isinstance(value, bool)),
+    "integer": lambda value: (isinstance(value, int)
+                              and not isinstance(value, bool)),
+    "boolean": lambda value: isinstance(value, bool),
+    "null": lambda value: value is None,
+}
+
+
+def validate_perfetto(payload: Any, schema: Dict[str, Any],
+                      path: str = "$") -> List[str]:
+    """Validate ``payload`` against the subset of JSON Schema the
+    checked-in trace schema uses (type/required/properties/items/enum).
+    Returns a list of error strings — empty means valid."""
+    errors: List[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS.get(t, lambda _v: True)(payload)
+                   for t in types):
+            errors.append(
+                f"{path}: expected {expected}, got {type(payload).__name__}")
+            return errors
+    if "enum" in schema and payload not in schema["enum"]:
+        errors.append(f"{path}: {payload!r} not in {schema['enum']!r}")
+    if isinstance(payload, dict):
+        for key in schema.get("required", []):
+            if key not in payload:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in payload:
+                errors.extend(validate_perfetto(
+                    payload[key], subschema, f"{path}.{key}"))
+    if isinstance(payload, list) and "items" in schema:
+        for index, item in enumerate(payload):
+            errors.extend(validate_perfetto(
+                item, schema["items"], f"{path}[{index}]"))
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _load_dumps(paths: List[str]) -> List[Dict[str, Any]]:
+    dumps: List[Dict[str, Any]] = []
+    for path in paths:
+        payload = load_json(path)
+        if "dumps" in payload:
+            dumps.extend(payload["dumps"])
+        else:
+            dumps.append(payload)
+    return dumps
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.merge",
+        description=("Merge per-daemon trace dumps into one skew-corrected "
+                     "timeline, or validate a Perfetto export."),
+    )
+    parser.add_argument("dumps", nargs="*",
+                        help="trace_dump JSON files (or {'dumps': [...]})")
+    parser.add_argument("-o", "--output",
+                        help="write the merged timeline JSON here")
+    parser.add_argument("--perfetto",
+                        help="also write Chrome trace-event JSON here")
+    parser.add_argument("--reference",
+                        help="node whose clock anchors the timeline")
+    parser.add_argument("--validate-perfetto", metavar="TRACE",
+                        help="validate an existing Perfetto JSON and exit")
+    parser.add_argument("--schema",
+                        help="JSON schema for --validate-perfetto")
+    args = parser.parse_args(argv)
+
+    if args.validate_perfetto:
+        if not args.schema:
+            parser.error("--validate-perfetto requires --schema")
+        errors = validate_perfetto(load_json(args.validate_perfetto),
+                                   load_json(args.schema))
+        for error in errors:
+            print(f"schema violation: {error}", file=sys.stderr)
+        print(f"{args.validate_perfetto}: "
+              f"{'INVALID' if errors else 'valid'}")
+        return 1 if errors else 0
+
+    if not args.dumps:
+        parser.error("no trace dumps given")
+    merged = merge_dumps(_load_dumps(args.dumps), reference=args.reference)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dump_json(merged))
+            handle.write("\n")
+    if args.perfetto:
+        with open(args.perfetto, "w", encoding="utf-8") as handle:
+            json.dump(chrome_trace(merged["events"]), handle, indent=2)
+            handle.write("\n")
+    print(f"merged {len(merged['events'])} events from "
+          f"{len(merged['nodes'])} nodes "
+          f"(reference={merged['reference']}, clamped={merged['clamped']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,8 +1,9 @@
 """Counters, gauges, and fixed-bucket histograms.
 
 Every instrument is O(1) per record: counters and gauges are a single
-attribute update, histograms a :func:`bisect.bisect_right` over a fixed
-bucket list.  No locking — the reproduction is single-threaded by design
+attribute update, histograms a :func:`bisect.bisect_left` over a fixed
+bucket list (``bisect_left`` so that bounds are *inclusive* upper
+bounds — a value equal to a bound lands in that bound's bucket).  No locking — the reproduction is single-threaded by design
 (the DES owns all concurrency).
 
 The cost discipline is the :class:`NullMetrics` registry: a shared
@@ -40,12 +41,19 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 
 def linear_buckets(start: float, width: float, count: int) -> Tuple[float, ...]:
     """``count`` evenly spaced upper bounds from ``start``."""
+    if width <= 0:
+        raise ValueError(f"linear bucket width must be > 0, got {width}")
     return tuple(start + width * index for index in range(count))
 
 
 def exponential_buckets(start: float, factor: float,
                         count: int) -> Tuple[float, ...]:
     """``count`` geometrically growing upper bounds from ``start``."""
+    if factor <= 1:
+        raise ValueError(
+            f"exponential bucket factor must be > 1, got {factor}")
+    if start <= 0:
+        raise ValueError(f"exponential bucket start must be > 0, got {start}")
     bounds = []
     bound = start
     for _ in range(count):
@@ -136,8 +144,14 @@ class Histogram:
         q-th sample (``maximum`` for the overflow bucket)."""
         if not self.count:
             return None
+        # NaN fails both comparisons, so it is rejected here too.
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
+        if q == 0.0:
+            # target would be 0, which every bucket's running count
+            # satisfies — including an empty first bucket.  The 0th
+            # quantile is simply the smallest recorded value.
+            return self.minimum
         target = q * self.count
         running = 0
         for index, count in enumerate(self.counts):

@@ -5,6 +5,15 @@ Time comes from a bound clock callable — benchmarks bind the DES clock so
 every event is stamped with *simulated* seconds, not wall-clock.  When the
 ring overflows, the oldest events are dropped and counted, never raised:
 tracing must not perturb the run it observes.
+
+Causal tracing rides on top: a tracer carries at most one *active*
+:class:`~repro.obs.context.TraceContext`.  While a context is active,
+every event and span is stamped with ``trace``/``span``/``parent``
+fields, and :meth:`span` derives a child context for its body so nested
+work chains causally.  Message receive paths :meth:`activate` the
+context carried on the wire; send paths read :attr:`context` to attach
+it to outgoing messages.  With no active context (the default) events
+keep their original untagged shape and nothing is allocated.
 """
 
 from __future__ import annotations
@@ -12,6 +21,8 @@ from __future__ import annotations
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.context import TraceContext
 
 __all__ = ["Tracer", "NullTracer", "NO_TRACE", "DEFAULT_CAPACITY"]
 
@@ -37,6 +48,7 @@ class Tracer:
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._now = now if now is not None else _zero
         self.emitted = 0
+        self._context: Optional[TraceContext] = None
 
     def bind_clock(self, now: Callable[[], float]) -> None:
         """Stamp subsequent events with ``now()`` — benchmarks bind the
@@ -48,21 +60,72 @@ class Tracer:
         return self._now()
 
     def emit(self, name: str, **fields: Any) -> None:
-        """Record one event at the current (simulated) time."""
+        """Record one event at the current (simulated) time.  While a
+        context is active the event is stamped with its causal triple."""
         self.emitted += 1
+        context = self._context
+        if context is not None:
+            fields.setdefault("trace", context.trace_id)
+            fields.setdefault("span", context.span_id)
+            fields.setdefault("parent", context.parent_id)
         self._events.append((self._now(), name, fields))
 
-    @contextmanager
-    def span(self, name: str, **fields: Any) -> Iterator[None]:
-        """Emit ``name`` on exit with the elapsed simulated ``duration``.
+    # -- causal context ----------------------------------------------------
 
-        Useful around scheduler-driven sections: the duration is simulated
-        seconds, so a span around ``scheduler.run()`` measures makespan."""
-        start = self._now()
+    @property
+    def context(self) -> Optional[TraceContext]:
+        """The active causal context, or ``None`` when untraced."""
+        return self._context
+
+    @contextmanager
+    def activate(self, context: Optional[TraceContext]) -> Iterator[None]:
+        """Make ``context`` active for the block (receive-side hook).
+
+        ``None`` leaves the current context in place, so call sites can
+        pass whatever rode the message without a branch."""
+        previous = self._context
+        if context is not None:
+            self._context = context
         try:
             yield
         finally:
-            self.emit(name, duration=self._now() - start, **fields)
+            self._context = previous
+
+    @contextmanager
+    def root_span(self, name: str, **fields: Any) -> Iterator[TraceContext]:
+        """Start a fresh trace: a new root context is active for the body
+        and the span event is emitted on exit.  Use at trace origins —
+        user-initiated payments, multihop route setup."""
+        previous = self._context
+        self._context = TraceContext.root()
+        start = self._now()
+        try:
+            yield self._context
+        finally:
+            try:
+                self.emit(name, duration=self._now() - start, **fields)
+            finally:
+                self._context = previous
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[Optional[TraceContext]]:
+        """Emit ``name`` on exit with the elapsed simulated ``duration``.
+
+        Useful around scheduler-driven sections: the duration is simulated
+        seconds, so a span around ``scheduler.run()`` measures makespan.
+        While a context is active, the body runs under a derived *child*
+        context and the exit event carries the child's causal triple."""
+        start = self._now()
+        parent = self._context
+        if parent is not None:
+            self._context = parent.child()
+        try:
+            yield self._context
+        finally:
+            try:
+                self.emit(name, duration=self._now() - start, **fields)
+            finally:
+                self._context = parent
 
     @property
     def dropped(self) -> int:
@@ -97,6 +160,14 @@ class NullTracer(Tracer):
 
     def emit(self, name: str, **fields: Any) -> None:
         pass
+
+    @contextmanager
+    def activate(self, context: Optional[TraceContext]) -> Iterator[None]:
+        yield
+
+    @contextmanager
+    def root_span(self, name: str, **fields: Any) -> Iterator[None]:
+        yield
 
     @contextmanager
     def span(self, name: str, **fields: Any) -> Iterator[None]:

@@ -10,7 +10,8 @@ when fed attacker-controlled bytes.
 
 Format (all integers big-endian):
 
-* ``encode(obj)`` emits ``MAGIC (3 bytes) || VERSION (1 byte) || value``.
+* ``encode(obj)`` emits ``MAGIC (3 bytes) || VERSION (1 byte) || header
+  || value`` — the header exists only in version-2 frames (see below).
 * A *value* is one type byte followed by a type-specific body.  Container
   and string lengths are unsigned LEB128 varints; ``int`` uses a zigzag
   varint so arbitrary-precision negative values survive.
@@ -18,10 +19,20 @@ Format (all integers big-endian):
   are ``0x10 || uvarint(tag) || body``.  Tags are part of the wire
   contract: never renumber one, only append.
 
+Version 2 adds a one-byte *header flags* field after the version byte.
+Bit 0 set means a causal trace context follows: three length-prefixed
+UTF-8 strings (trace id, span id, parent id) that distributed tracing
+rides across daemons.  Flags ``0x00`` means no header — the common case,
+one constant byte — and version-1 frames (no flags byte at all) still
+decode, so peers running the previous wire format interoperate.
+
 Dataclass bodies encode fields sorted by name — the same convention as
-``canonical_bytes`` — so adding a field is a tag bump, not silent
-corruption.  Decoding re-runs each dataclass's ``__post_init__``
-validation, which is the first line of defence against malformed frames.
+``canonical_bytes``.  A frame may omit *trailing* (in sorted order)
+fields that carry dataclass defaults: that is how a schema grows new
+optional fields (handshake timestamps, say) without breaking frames from
+peers still on the old shape.  Decoding re-runs each dataclass's
+``__post_init__`` validation, which is the first line of defence against
+malformed frames.
 """
 
 from __future__ import annotations
@@ -31,9 +42,20 @@ import struct
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.context import TraceContext
 
 MAGIC = b"TCW"
-VERSION = 1
+VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
+
+# Header flag bits (version >= 2).
+_H_TRACE = 0x01
+
+# Precomputed frame prefix for the untraced common case, so encoding a
+# message with tracing disabled allocates nothing beyond what version 1
+# did (one constant concat, no per-message header objects).
+_PREFIX_PLAIN = MAGIC + bytes([VERSION, 0])
+_PREFIX_TRACED = MAGIC + bytes([VERSION, _H_TRACE])
 
 # Value type bytes.
 _T_NONE = 0x00
@@ -158,10 +180,22 @@ def register_dataclass(tag: int, cls: type) -> None:
     Fields are encoded as values in sorted-name order (the
     ``canonical_bytes`` convention); decoding reconstructs via the
     constructor so ``__post_init__`` validation runs on hostile input.
+
+    Frames may omit trailing fields (in sorted order) that have dataclass
+    defaults: a schema that grows a new defaulted field whose name sorts
+    last keeps decoding frames emitted by the previous schema.
     """
     field_names = tuple(sorted(
         field.name for field in dataclasses.fields(cls)
     ))
+    defaulted = {
+        field.name for field in dataclasses.fields(cls)
+        if field.default is not dataclasses.MISSING
+        or field.default_factory is not dataclasses.MISSING
+    }
+    minimum = len(field_names)
+    while minimum > 0 and field_names[minimum - 1] in defaulted:
+        minimum -= 1
 
     def pack(obj: Any) -> bytes:
         parts = [_uvarint(len(field_names))]
@@ -171,12 +205,14 @@ def register_dataclass(tag: int, cls: type) -> None:
 
     def unpack(reader: _Reader) -> Any:
         count = reader.uvarint()
-        if count != len(field_names):
+        if count > len(field_names) or count < minimum:
             raise CodecError(
                 f"{cls.__name__}: frame has {count} fields, "
-                f"schema has {len(field_names)}"
+                f"schema has {len(field_names)} "
+                f"({minimum} required)"
             )
-        kwargs = {name: _decode_value(reader) for name in field_names}
+        kwargs = {name: _decode_value(reader)
+                  for name in field_names[:count]}
         try:
             return cls(**kwargs)
         except (TypeError, ValueError, ReproError) as exc:
@@ -268,29 +304,66 @@ def _decode_value(reader: _Reader) -> Any:
 # Public API
 # ---------------------------------------------------------------------------
 
-def encode(obj: Any) -> bytes:
-    """Encode ``obj`` to a self-describing, versioned byte string."""
-    return MAGIC + bytes([VERSION]) + _encode_value(obj)
+def _encode_str_raw(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return _uvarint(len(raw)) + raw
+
+
+def encode(obj: Any, trace: Optional[TraceContext] = None) -> bytes:
+    """Encode ``obj`` to a self-describing, versioned byte string.
+
+    ``trace`` rides as the version-2 frame header.  With ``trace=None``
+    (the default, and the only case when tracing is disabled) the frame
+    prefix is a precomputed constant — no per-message header allocation.
+    """
+    if trace is None:
+        return _PREFIX_PLAIN + _encode_value(obj)
+    return (_PREFIX_TRACED
+            + _encode_str_raw(trace.trace_id)
+            + _encode_str_raw(trace.span_id)
+            + _encode_str_raw(trace.parent_id)
+            + _encode_value(obj))
 
 
 def decode(data: bytes) -> Any:
-    """Decode bytes produced by :func:`encode`.
+    """Decode bytes produced by :func:`encode`, dropping any trace header.
 
     Raises :class:`CodecError` on bad magic, unsupported version, trailing
     garbage, or any structural problem — never executes embedded code.
     """
+    return decode_with_trace(data)[0]
+
+
+def decode_with_trace(data: bytes) -> Tuple[Any, Optional[TraceContext]]:
+    """Decode a frame and return ``(value, trace_context_or_None)``.
+
+    Accepts every version in :data:`SUPPORTED_VERSIONS`: version-1 frames
+    (no header byte) produced by older peers decode with a ``None``
+    context.
+    """
     if len(data) < 4 or data[:3] != MAGIC:
         raise CodecError("bad magic: not a repro wire frame")
-    if data[3] != VERSION:
-        raise CodecError(f"unsupported wire version {data[3]}")
+    version = data[3]
+    if version not in SUPPORTED_VERSIONS:
+        raise CodecError(f"unsupported wire version {version}")
     reader = _Reader(data)
     reader.pos = 4
+    trace: Optional[TraceContext] = None
+    if version >= 2:
+        flags = reader.byte()
+        if flags & ~_H_TRACE:
+            raise CodecError(f"unknown header flags 0x{flags:02x}")
+        if flags & _H_TRACE:
+            trace_id = reader.take(reader.uvarint()).decode("utf-8")
+            span_id = reader.take(reader.uvarint()).decode("utf-8")
+            parent_id = reader.take(reader.uvarint()).decode("utf-8")
+            trace = TraceContext.from_fields(trace_id, span_id, parent_id)
     value = _decode_value(reader)
     if not reader.done():
         raise CodecError(
             f"{len(reader.data) - reader.pos} trailing bytes after value"
         )
-    return value
+    return value, trace
 
 
 def encodable(obj: Any) -> bool:

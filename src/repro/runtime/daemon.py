@@ -60,7 +60,16 @@ from repro.crypto.hashing import sha256
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.errors import BlockchainError, ReproError
 from repro.network.secure_channel import channel_from_quote
-from repro.obs import MetricsRegistry, set_metrics
+from repro.obs import (
+    NO_TRACE,
+    MetricsRegistry,
+    Tracer,
+    op_span,
+    prometheus_text,
+    set_metrics,
+    set_tracer,
+)
+from repro.obs.collector import TelemetryCollector
 from repro.runtime.messages import (
     ChainMine,
     ChainTx,
@@ -114,6 +123,7 @@ class NodeDaemon:
         control_port: int = 0,
         allocations: Optional[Dict[str, int]] = None,
         state_dir: Optional[str] = None,
+        trace: Optional[bool] = None,
     ) -> None:
         self.name = name
         self.allocations = dict(allocations or {})
@@ -122,9 +132,25 @@ class NodeDaemon:
         set_metrics(self.metrics)
 
         self.scheduler = WallClockScheduler()
+        # Causal tracing is opt-in (--trace / REPRO_TRACE=1): the tracer
+        # is stamped with the scheduler clock — the same clock handshake
+        # skew offsets are measured against, so repro.obs.merge can place
+        # this daemon's spans on a shared timeline.
+        if trace is None:
+            trace = os.environ.get("REPRO_TRACE", "") not in ("", "0")
+        self.trace_enabled = bool(trace)
+        self.tracer: Tracer = NO_TRACE
+        if self.trace_enabled:
+            self.tracer = Tracer(now=lambda: self.scheduler.now)
+            set_tracer(self.tracer)
+        self.collector = TelemetryCollector(
+            name, self.tracer, self.metrics,
+            now=lambda: self.scheduler.now,
+        )
         chain = Blockchain()
         make_genesis(chain, self.allocations)
         self.net = AsyncTcpNetwork(name, host=host, port=port)
+        self.net.clock = lambda: self.scheduler.now
         self.network = TeechainNetwork(
             transport=self.net, scheduler=self.scheduler, chain=chain
         )
@@ -574,6 +600,35 @@ class NodeDaemon:
                 "remote_balance": snapshot["remote_balance"]}
 
     @COMMANDS.command(
+        "pay-multihop",
+        Param("amount", int),
+        Param("path", doc="comma-separated hop names, this daemon first"),
+        Param("payment_id", required=False, doc="explicit id (optional)"),
+        doc="Send a multi-hop payment along a path of open channels.")
+    async def pay_multihop(self, amount: int, path: str,
+                           payment_id: Optional[str] = None,
+                           timeout: float = 30.0) -> Dict[str, Any]:
+        hop_names = [hop.strip() for hop in str(path).split(",") if hop.strip()]
+        if len(hop_names) < 2:
+            raise CommandError("path needs at least two hop names",
+                               code="bad_request")
+        if hop_names[0] != self.name:
+            raise CommandError(f"path must start at {self.name!r}",
+                               code="bad_request")
+        # Payment ids are minted per daemon; prefixing with our name keeps
+        # them unique across the network without coordination.
+        pid = payment_id or f"{self.name}-{self.network.next_payment_id()}"
+        with op_span("multihop.pay", payment=pid, node=self.name,
+                     hops=len(hop_names) - 1):
+            self.node._ecall("pay_multihop", pid, amount, hop_names)
+        await self._wait_for(
+            lambda: pid in self.node.program.multihop_completed,
+            timeout, f"multihop payment {pid}",
+        )
+        return {"payment_id": pid, "amount": amount,
+                "hops": len(hop_names) - 1, "completed": True}
+
+    @COMMANDS.command(
         "bench-pay",
         Param("channel_id"),
         Param("count", int, doc="number of payments"),
@@ -704,6 +759,38 @@ class NodeDaemon:
         return {"metrics": self.metrics.snapshot()}
 
     @COMMANDS.command(
+        "trace_dump",
+        doc="This daemon's span ring plus the clock metadata trace "
+            "merging needs (local/wall clocks, handshake skew offsets).")
+    async def _cmd_trace_dump(self) -> Dict[str, Any]:
+        return self.collector.trace_dump(peer_offsets=self.net.peer_offsets)
+
+    @COMMANDS.command(
+        "metrics_stream",
+        doc="Metrics delta since the previous call (rates without "
+            "per-client server state; drives the 'top' view).")
+    async def _cmd_metrics_stream(self) -> Dict[str, Any]:
+        return self.collector.metrics_delta()
+
+    @COMMANDS.command(
+        "metrics_prom",
+        doc="Metrics in Prometheus text exposition format.")
+    async def _cmd_metrics_prom(self) -> Dict[str, Any]:
+        return {"text": prometheus_text(self.metrics.snapshot())}
+
+    @COMMANDS.command(
+        "health",
+        doc="Cheap liveness summary: uptime, trace ring pressure, "
+            "peer/channel counts.")
+    async def _cmd_health(self) -> Dict[str, Any]:
+        return self.collector.health(
+            peers=len(self._peer_keys),
+            channels=len(self.node.channels),
+            chain_height=self.network.chain.height,
+            tracing=self.trace_enabled,
+        )
+
+    @COMMANDS.command(
         "fault",
         Param("action", doc="crash | sever | blackhole | heal"),
         Param("peer", required=False, doc="peer link for sever/blackhole/heal"),
@@ -780,11 +867,12 @@ class NodeDaemon:
 async def serve(name: str, host: str, port: int, control_port: int,
                 allocations: Dict[str, int],
                 state_dir: Optional[str] = None,
-                announce: bool = True) -> None:
+                announce: bool = True,
+                trace: Optional[bool] = None) -> None:
     """Run a daemon until its control API receives ``shutdown``."""
     daemon = NodeDaemon(name, host=host, port=port,
                         control_port=control_port, allocations=allocations,
-                        state_dir=state_dir)
+                        state_dir=state_dir, trace=trace)
     peer_port, ctrl_port = await daemon.start()
     if announce:
         # Machine-readable startup line so launchers can scrape the ports.

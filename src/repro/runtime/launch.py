@@ -121,6 +121,7 @@ def launch_network(
     names: Optional[Sequence[str]] = None,
     startup_timeout: float = 20.0,
     state_dir: Optional[str] = None,
+    trace: bool = False,
 ) -> Tuple[Dict[str, DaemonHandle], Dict[str, Tuple[int, int]]]:
     """Spawn one daemon per name and connect a full peer mesh.
 
@@ -136,7 +137,8 @@ def launch_network(
         for name in names:
             port, control_port = ports[name]
             process = spawn_daemon(name, port, control_port, allocations,
-                                   state_dir=state_dir)
+                                   state_dir=state_dir,
+                                   extra_args=("--trace",) if trace else ())
             handles[name] = DaemonHandle(
                 name, process, port, control_port,
                 wait_for_control(HOST, control_port,

@@ -37,6 +37,11 @@ class Hello:
     # daemon restart yields fresh channel keys — see
     # ``NodeDaemon._install_peer``.
     session: bytes = b""
+    # Sender's local clock (its WallClockScheduler) at send time.  Feeds
+    # the NTP-style skew estimate that lets repro.obs.merge place spans
+    # from daemons with different clock epochs on one timeline.  The name
+    # sorts after every older field, so version-1 frames still decode.
+    t_sent: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -48,6 +53,13 @@ class HelloAck:
     settlement_address: str
     quote: Quote
     session: bytes = b""
+    # Skew-estimation timestamps (responder's local clock), all defaulted
+    # so older peers' four-field frames still decode: ``t_echo`` echoes
+    # the Hello's ``t_sent`` back (stateless NTP), ``t_received`` is when
+    # the Hello arrived, ``t_sent`` when this ack left.
+    t_echo: float = 0.0
+    t_received: float = 0.0
+    t_sent: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -7,7 +7,8 @@ synchronously under ``InstantNetwork`` put codec frames on real sockets
 here.
 
 Wire format: each frame is a 4-byte big-endian length followed by one
-codec-encoded object.  Three kinds of objects cross a peer connection —
+codec-encoded object (whose version-2 header optionally carries a trace
+context, so causal traces survive the hop between daemons).  Three kinds of objects cross a peer connection —
 the :class:`~repro.runtime.messages.Hello`/``HelloAck`` handshake,
 :class:`~repro.runtime.messages.Envelope` (protocol traffic, routed to
 the registered endpoint handler), and anything else (control-plane
@@ -27,10 +28,15 @@ from __future__ import annotations
 import asyncio
 import logging
 import random
+import time
+from dataclasses import replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.network.transport import BaseNetwork, Message
+from repro.obs import get_tracer
+from repro.obs.context import TraceContext
+from repro.obs.merge import estimate_offset
 from repro.runtime import codec
 from repro.runtime.messages import Envelope, Hello, HelloAck
 
@@ -40,8 +46,8 @@ MAX_FRAME = 16 * 1024 * 1024  # sanity bound; a length prefix is attacker data
 _LEN = 4
 
 
-def _frame(obj: Any) -> bytes:
-    body = codec.encode(obj)
+def _frame(obj: Any, trace: Optional[TraceContext] = None) -> bytes:
+    body = codec.encode(obj, trace=trace)
     if len(body) > MAX_FRAME:
         raise NetworkError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
     return len(body).to_bytes(_LEN, "big") + body
@@ -148,12 +154,21 @@ class _PeerLink:
         hello = self.network.hello_factory()
         if hello is None:
             return  # host runs without attestation (bare transport tests)
+        # Stamp at the last possible moment so queueing delay inside the
+        # factory does not bias the skew estimate.
+        hello = replace(hello, t_sent=self.network.clock())
         writer.write(_frame(hello))
         await writer.drain()
         ack = codec.decode(await _read_frame(reader))
+        t_ack_received = self.network.clock()
         if not isinstance(ack, HelloAck):
             raise NetworkError(
                 f"expected HelloAck, got {type(ack).__name__}"
+            )
+        if ack.t_received:  # a pre-timestamp peer leaves these zeroed
+            self.network.peer_offsets[ack.name] = estimate_offset(
+                hello.t_sent, ack.t_echo, ack.t_received,
+                ack.t_sent, t_ack_received,
             )
         handler = self.network.hello_ack_handler
         if handler is not None:
@@ -200,6 +215,14 @@ class AsyncTcpNetwork(BaseNetwork):
         self.backoff_cap = backoff_cap
         self.frames_received = 0
         self.bytes_received = 0
+        # Clock used for handshake skew stamps.  The daemon points this at
+        # its WallClockScheduler so handshake offsets live on the same
+        # timeline as span timestamps; bare transports use monotonic time.
+        self.clock: Callable[[], float] = time.monotonic
+        # NTP-style clock offsets measured during handshakes: peer name →
+        # (peer clock − our clock).  Consumed by ``repro.obs.merge`` to
+        # align per-daemon trace dumps on one causal timeline.
+        self.peer_offsets: Dict[str, float] = {}
         # Host hooks: the daemon wires these before start().
         self.hello_factory: Callable[[], Optional[Hello]] = lambda: None
         self.hello_handler: Optional[Callable[[Hello], Optional[HelloAck]]] = None
@@ -294,9 +317,11 @@ class AsyncTcpNetwork(BaseNetwork):
                 f"payload of type {type(payload).__name__} has no wire "
                 "encoding; cannot send over TCP"
             )
-        frame = _frame(envelope)
+        context = get_tracer().context
+        frame = _frame(envelope, trace=context)
         message = Message(sender, destination, payload,
-                          size if size is not None else len(frame))
+                          size if size is not None else len(frame),
+                          context)
         if not self._account_send(message):
             return
         handler = self._handlers.get(destination)
@@ -336,16 +361,21 @@ class AsyncTcpNetwork(BaseNetwork):
                 body = await _read_frame(reader)
                 self.frames_received += 1
                 self.bytes_received += len(body) + _LEN
-                obj = codec.decode(body)
+                obj, context = codec.decode_with_trace(body)
                 if isinstance(obj, Hello):
+                    t_received = self.clock()
                     peer_name = obj.name
                     if self.hello_handler is not None:
                         ack = self.hello_handler(obj)
                         if ack is not None:
+                            if obj.t_sent:  # peer wants a skew estimate
+                                ack = replace(ack, t_echo=obj.t_sent,
+                                              t_received=t_received,
+                                              t_sent=self.clock())
                             writer.write(_frame(ack))
                             await writer.drain()
                 elif isinstance(obj, Envelope):
-                    self._dispatch(obj, len(body) + _LEN)
+                    self._dispatch(obj, len(body) + _LEN, context)
                 elif self.control_handler is not None:
                     self.control_handler(obj, peer_name)
                 else:
@@ -361,7 +391,8 @@ class AsyncTcpNetwork(BaseNetwork):
         finally:
             writer.close()
 
-    def _dispatch(self, envelope: Envelope, wire_size: int) -> None:
+    def _dispatch(self, envelope: Envelope, wire_size: int,
+                  context: Optional[TraceContext] = None) -> None:
         handler = self._handlers.get(envelope.destination)
         if handler is None:
             logger.warning("%s: frame for unknown endpoint %r",
@@ -376,7 +407,7 @@ class AsyncTcpNetwork(BaseNetwork):
                                self.name, envelope.sender, exc)
                 return
         message = Message(envelope.sender, envelope.destination,
-                          payload, wire_size)
+                          payload, wire_size, context)
         try:
             handler(message)
         except Exception:  # noqa: BLE001 — a handler bug must not kill I/O
@@ -396,6 +427,7 @@ class AsyncTcpNetwork(BaseNetwork):
             "messages_suppressed": self.messages_suppressed,
             "frames_received": self.frames_received,
             "bytes_received": self.bytes_received,
+            "peer_offsets": dict(self.peer_offsets),
             "peers": {
                 name: {
                     "connected": link.connected.is_set(),

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.crypto.hashing import sha256
 from repro.crypto.keys import KeyPair
 from repro.errors import EnclaveCrashed, EnclaveFrozen, TEEError
+from repro.obs import get_tracer
 
 
 class EnclaveStatus(enum.Enum):
@@ -142,6 +143,14 @@ class Enclave:
         if handler is None or method.startswith("_"):
             raise TEEError(f"no such ecall {method!r} on {self.name}")
         guard = getattr(self.program, "ecall_guard", None)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # The ecall is the trust boundary — a span here separates
+            # in-enclave processing time from host/wire time in traces.
+            with tracer.span(f"ecall.{method}", enclave=self.name):
+                if guard is not None:
+                    return guard(method, handler, args, kwargs)
+                return handler(*args, **kwargs)
         if guard is not None:
             return guard(method, handler, args, kwargs)
         return handler(*args, **kwargs)

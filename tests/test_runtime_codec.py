@@ -196,7 +196,8 @@ class TestCodecFraming:
             codec.decode(codec.encode(7) + b"\x00")
 
     def test_unknown_tag_rejected(self):
-        frame = codec.MAGIC + bytes([codec.VERSION, 0x10, 0x7F])
+        # version-2 layout: flags byte (0 = no header) before the value.
+        frame = codec.MAGIC + bytes([codec.VERSION, 0x00, 0x10, 0x7F])
         with pytest.raises(codec.CodecError, match="unknown wire tag"):
             codec.decode(frame)
 
@@ -223,3 +224,111 @@ class TestCodecFraming:
     def test_nested_containers(self):
         value = {"k": [(1, b"\x00"), (2, None)], "nested": {"deep": (3.5,)}}
         assert codec.decode(codec.encode(value)) == value
+
+
+# ---------------------------------------------------------------------------
+# Version-2 trace header
+# ---------------------------------------------------------------------------
+
+from repro.obs import NO_TRACE  # noqa: E402
+from repro.obs.context import TraceContext  # noqa: E402
+
+
+@dataclasses.dataclass(frozen=True)
+class _GrownSchema:
+    """Test-only schema that grew a defaulted field sorting last."""
+
+    x: int
+    zz_added: float = 0.0
+
+
+codec.register_dataclass(99, _GrownSchema)  # tag 99: test block, never shipped
+
+
+class TestTraceHeader:
+    def test_traced_frame_round_trips(self):
+        context = TraceContext(trace_id="a" * 16, span_id="b" * 16,
+                               parent_id="c" * 16)
+        frame = codec.encode({"amount": 7}, trace=context)
+        assert frame[:5] == codec.MAGIC + bytes([codec.VERSION, 0x01])
+        value, decoded = codec.decode_with_trace(frame)
+        assert value == {"amount": 7}
+        assert decoded == context
+        # decode() drops the header but still accepts the frame.
+        assert codec.decode(frame) == {"amount": 7}
+
+    def test_untraced_frame_prefix_is_constant_and_context_none(self):
+        frame = codec.encode([1, 2])
+        assert frame[:5] == codec.MAGIC + bytes([codec.VERSION, 0x00])
+        value, context = codec.decode_with_trace(frame)
+        assert value == [1, 2]
+        assert context is None
+
+    def test_root_context_empty_parent_survives(self):
+        root = TraceContext.root()
+        assert root.parent_id == ""
+        _, decoded = codec.decode_with_trace(codec.encode(0, trace=root))
+        assert decoded == root
+
+    def test_version1_frame_still_decodes(self):
+        # A v1 frame is MAGIC ‖ 0x01 ‖ value — no flags byte at all.
+        body = codec.encode("hello")[5:]
+        v1 = codec.MAGIC + bytes([1]) + body
+        value, context = codec.decode_with_trace(v1)
+        assert value == "hello"
+        assert context is None
+
+    def test_unknown_header_flags_rejected(self):
+        frame = codec.MAGIC + bytes([codec.VERSION, 0x02]) + codec.encode(0)[5:]
+        with pytest.raises(codec.CodecError, match="header flags"):
+            codec.decode(frame)
+
+    def test_empty_trace_id_decodes_to_no_context(self):
+        # Three zero-length header strings: a peer that set the flag but
+        # carried nothing; from_fields treats it as untraced.
+        frame = (codec.MAGIC + bytes([codec.VERSION, 0x01])
+                 + b"\x00\x00\x00" + codec.encode(5)[5:])
+        value, context = codec.decode_with_trace(frame)
+        assert value == 5
+        assert context is None
+
+    def test_trailing_defaulted_fields_may_be_omitted(self):
+        # The shape an older peer emits: field count 1, no zz_added bytes.
+        old_frame = (codec.MAGIC + bytes([codec.VERSION, 0x00])
+                     + bytes([0x10, 99]) + bytes([1])  # tag, count
+                     + bytes([0x03, 10]))              # int 5 (zigzag)
+        assert codec.decode(old_frame) == _GrownSchema(5, 0.0)
+        # But a *required* field can never be omitted.
+        empty = (codec.MAGIC + bytes([codec.VERSION, 0x00])
+                 + bytes([0x10, 99]) + bytes([0]))
+        with pytest.raises(codec.CodecError, match="required"):
+            codec.decode(empty)
+
+    def test_handshake_timestamps_ride_as_trailing_defaults(self):
+        # Hello/HelloAck grew t_* fields whose names sort last, so the
+        # registry must treat them as omittable.
+        for cls, grown in ((runtime_messages.Hello, {"t_sent"}),
+                           (runtime_messages.HelloAck,
+                            {"t_echo", "t_received", "t_sent"})):
+            names = sorted(f.name for f in dataclasses.fields(cls))
+            assert set(names[-len(grown):]) == grown, cls.__name__
+
+    def test_disabled_tracing_allocates_no_context_objects(self, monkeypatch):
+        # The acceptance guard: with tracing off, the wire path must not
+        # construct a single TraceContext — encode uses the precomputed
+        # plain prefix and decode returns None without touching the class.
+        constructed = []
+        original_new = TraceContext.__new__
+
+        def counting_new(cls, *args, **kwargs):
+            constructed.append(1)
+            return original_new(cls)
+
+        monkeypatch.setattr(TraceContext, "__new__", counting_new)
+        assert NO_TRACE.context is None
+        for index in range(64):
+            frame = codec.encode({"seq": index}, trace=NO_TRACE.context)
+            assert frame[:5] == codec.MAGIC + bytes([codec.VERSION, 0x00])
+            value, context = codec.decode_with_trace(frame)
+            assert value == {"seq": index} and context is None
+        assert constructed == []
