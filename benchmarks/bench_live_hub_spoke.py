@@ -1,0 +1,143 @@
+"""Live hub-and-spoke: the Table 3 shape over real daemon processes.
+
+One hub daemon holds a direct channel to each of ``SPOKES`` spoke
+daemons (the single-operator star that Table 3's three-tier overlay
+generalises), and every channel carries concurrent bidirectional
+traffic driven by the ``repro.load`` closed-loop generator — hub→spoke
+and spoke→hub streams for each channel at once, so the hub serves
+``2×SPOKES`` payment streams simultaneously.
+
+The DES benchmark ``bench_table3_hub_spoke.py`` reproduces the paper's
+*numbers* (671 tx/s at 100 ms RTT); this one exercises the *runtime*
+under the same shape: real sockets, real enclave crypto, flow-controlled
+outbound queues.  The assertions are therefore about correctness under
+concurrency, not absolute throughput — zero protocol-plane frame drops,
+and exact on-chain conservation after settling every channel.  The
+``live_hub_spoke`` sidecar records per-channel throughput and p50/p95
+latency (nearest-rank, via the shared quantile helper).
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.load import LoadTarget, run_closed_loop, transport_drops
+from repro.obs import MetricsRegistry
+from repro.runtime.launch import HOST, launch_network
+
+from conftest import report
+from repro.bench.harness import ExperimentResult
+
+SPOKES = 4
+GENESIS = 200_000
+DEPOSIT = 40_000
+PAYMENTS = 60            # per direction per channel
+CONCURRENCY = 2          # users per stream
+HUB_TO_SPOKE, SPOKE_TO_HUB = 2, 1   # asymmetric → on-chain settlement
+
+
+def _poll(predicate, timeout=30.0, interval=0.05, what="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            pytest.fail(f"timed out waiting for {what}")
+        time.sleep(interval)
+
+
+@pytest.mark.live
+def test_live_hub_spoke():
+    names = ["hub"] + [f"spoke{i}" for i in range(SPOKES)]
+    handles, _ = launch_network({name: GENESIS for name in names})
+    hub = handles["hub"].control
+    spokes = {name: handles[name].control for name in names[1:]}
+    try:
+        # One channel per spoke, funded from both ends.
+        channels = {}
+        for name, spoke in spokes.items():
+            cid = hub.call("open-channel", peer=name)["channel_id"]
+            channels[name] = cid
+            deposit = hub.call("deposit", value=DEPOSIT)
+            hub.call("approve-associate", peer=name, channel_id=cid,
+                     txid=deposit["txid"])
+            deposit = spoke.call("deposit", value=DEPOSIT)
+            spoke.call("approve-associate", peer="hub", channel_id=cid,
+                       txid=deposit["txid"])
+
+        targets = []
+        for name, cid in channels.items():
+            targets.append(LoadTarget(
+                HOST, handles["hub"].control_port, cid,
+                amount=HUB_TO_SPOKE, label=f"hub->{name}"))
+            targets.append(LoadTarget(
+                HOST, handles[name].control_port, cid,
+                amount=SPOKE_TO_HUB, label=f"{name}->hub"))
+
+        registry = MetricsRegistry()
+        load = asyncio.run(run_closed_loop(
+            targets, PAYMENTS, concurrency=CONCURRENCY, registry=registry))
+        assert load.errors == 0
+        assert load.completed == 2 * SPOKES * PAYMENTS
+
+        drops = asyncio.run(transport_drops(
+            [(HOST, handle.control_port) for handle in handles.values()]))
+
+        # The generators return when the last *control* response lands;
+        # the final protocol frames may still be in flight.  Settle only
+        # once both replicas of each channel agree on the final ledger.
+        net = PAYMENTS * (HUB_TO_SPOKE - SPOKE_TO_HUB)
+
+        def converged(client, cid, mine, theirs):
+            snapshot = client.call("channel", channel_id=cid)
+            return (snapshot["my_balance"] == mine
+                    and snapshot["remote_balance"] == theirs)
+
+        for name, cid in channels.items():
+            _poll(lambda: converged(hub, cid, DEPOSIT - net, DEPOSIT + net)
+                  and converged(spokes[name], cid,
+                                DEPOSIT + net, DEPOSIT - net),
+                  what=f"channel {cid} to converge")
+
+        # Settle every channel from the hub; each settlement is mined and
+        # gossiped, so balances land on every replica.
+        for cid in channels.values():
+            hub.call("settle", channel_id=cid)
+        balances = {name: handles[name].control.call("balance")["onchain"]
+                    for name in names}
+    finally:
+        for handle in handles.values():
+            handle.shutdown()
+
+    results = [
+        ExperimentResult("live hub-spoke", f"{SPOKES} spokes, all streams",
+                         "throughput", load.throughput_tx_s, None, "tx/s"),
+    ]
+    for row in load.targets:
+        latency = row["latency"]
+        results.append(ExperimentResult(
+            "live hub-spoke", row["target"], "p50",
+            latency["p50"] * 1000, None, "ms"))
+        results.append(ExperimentResult(
+            "live hub-spoke", row["target"], "p95",
+            latency["p95"] * 1000, None, "ms"))
+    report(
+        f"Live hub-and-spoke (1 hub, {SPOKES} spokes, bidirectional "
+        "closed loop)",
+        results,
+        sidecar="live_hub_spoke",
+        metrics=registry,
+        extra={
+            "load": load.to_dict(),
+            "transport_drops": drops,
+            "balances": balances,
+        },
+    )
+
+    # Flow control, not luck: nothing on the protocol plane was dropped.
+    assert drops["protocol"] == 0
+
+    # Exact conservation: every daemon settled to genesis ± its net flow.
+    assert balances["hub"] == GENESIS - SPOKES * net
+    for name in names[1:]:
+        assert balances[name] == GENESIS + net
+    assert sum(balances.values()) == len(names) * GENESIS

@@ -60,10 +60,21 @@ class PaymentBatcher:
         batch = self._pending.get(channel_id)
         return batch.count if batch else 0
 
+    def pending_payments(self) -> int:
+        """Logical payments queued across every channel."""
+        return sum(batch.count for batch in self._pending.values())
+
     def flush(self) -> int:
         """Send every pending batch as a single payment per channel.
 
-        Returns the number of logical payments flushed."""
+        Returns the number of logical payments flushed.
+
+        If a channel's pay raises (e.g. insufficient balance), every
+        batch not yet flushed — *including* the one that failed — is
+        restored and the window timer re-armed before the error
+        propagates: one unfundable channel must not destroy the other
+        channels' queued payments, and the failed batch itself stays
+        queued so the caller can top up the channel and retry."""
         if self._timer is not None:
             # An explicit flush supersedes the scheduled one; left alive,
             # the stale timer would fire mid-window and flush the *next*
@@ -72,9 +83,25 @@ class PaymentBatcher:
             self._timer = None
         flushed = 0
         pending, self._pending = self._pending, {}
-        for channel_id, batch in pending.items():
-            self.node.pay(channel_id, batch.total_amount,
-                          batch_count=batch.count)
-            self.batches_flushed += 1
-            flushed += batch.count
+        try:
+            while pending:
+                channel_id, batch = next(iter(pending.items()))
+                self.node.pay(channel_id, batch.total_amount,
+                              batch_count=batch.count)
+                del pending[channel_id]
+                self.batches_flushed += 1
+                flushed += batch.count
+        except BaseException:
+            # Merge the unflushed batches back; submissions that raced in
+            # during a pay (re-entrant submit) must not be clobbered.
+            for channel_id, batch in pending.items():
+                restored = self._pending.setdefault(channel_id,
+                                                    _PendingBatch())
+                restored.total_amount += batch.total_amount
+                restored.count += batch.count
+            if (self.scheduler is not None and self._pending
+                    and self._timer is None):
+                self._timer = self.scheduler.call_after(self.window,
+                                                        self.flush)
+            raise
         return flushed

@@ -1,0 +1,49 @@
+"""``repro.load`` — concurrent load generation for the live runtime.
+
+The paper's headline numbers are throughput at scale: Table 3 drives a
+hub with ~30 concurrent spoke channels and §7.2 reaches 33k tx/s per
+channel pair with client-side batching.  This package is the driver for
+that shape of experiment against real daemons: it fans payments across
+many channels/daemons concurrently from asyncio tasks, measures
+per-channel latency and throughput through :mod:`repro.obs`, and writes
+the ``BENCH_load`` sidecar.
+
+Two generator disciplines (the classic load-testing split):
+
+* **closed loop** (:func:`run_closed_loop`) — N concurrent users per
+  target, each issuing its next payment the moment the previous one
+  completes.  Offered load adapts to the system; latency measures pure
+  service time.  This is the discipline for "how fast can it go".
+* **open loop** (:func:`run_open_loop`) — payments are *scheduled* at a
+  fixed target rate regardless of completions, so queueing delay shows
+  up in the latency numbers instead of silently throttling the offered
+  load.  This is the discipline for "what happens at rate R".
+
+Each concurrent user is one control connection (the daemon serves each
+connection serially, so in-flight concurrency equals open connections),
+and the payments themselves ride the daemon's backpressured send path —
+under overload the generators slow down rather than the transport
+dropping protocol frames.
+
+``python -m repro.load`` exposes both against running daemons, plus a
+self-contained ``smoke`` mode used by CI (spawn a loopback pair, run a
+closed-loop burst, verify conservation and zero protocol-plane drops).
+"""
+
+from repro.load.generators import (
+    LoadReport,
+    LoadTarget,
+    run_closed_loop,
+    run_load,
+    run_open_loop,
+    transport_drops,
+)
+
+__all__ = [
+    "LoadReport",
+    "LoadTarget",
+    "run_closed_loop",
+    "run_load",
+    "run_open_loop",
+    "transport_drops",
+]

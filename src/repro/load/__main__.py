@@ -1,0 +1,251 @@
+"""``python -m repro.load`` — drive payment load at live daemons.
+
+Two subcommands:
+
+``run``
+    Drive daemons that are already serving.  Targets are
+    ``host:port/channel_id`` (control address of the daemon that
+    *originates* the payments).  Prints the report as JSON and, with
+    ``--sidecar``, writes ``BENCH_<name>.json``.
+
+``smoke``
+    Self-contained check used by CI: launch a two-daemon loopback
+    network, run a few hundred closed-loop payments bidirectionally,
+    settle, and verify (a) zero protocol-plane transport drops,
+    (b) zero payment errors, and (c) exact on-chain conservation.
+    Writes ``BENCH_load.json`` and exits nonzero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.bench.harness import ExperimentResult, write_sidecar
+from repro.load.generators import (
+    LoadReport,
+    LoadTarget,
+    run_load,
+    transport_drops,
+)
+from repro.obs import MetricsRegistry
+from repro.runtime.launch import HOST, launch_network
+
+GENESIS = 200_000
+DEPOSIT = 60_000
+A_TO_B, B_TO_A = 2, 1  # asymmetric so the smoke settlement is on-chain
+
+
+def _result_rows(experiment: str,
+                 report: LoadReport) -> List[ExperimentResult]:
+    """Per-target throughput/p50/p95 rows for the sidecar table."""
+    rows: List[ExperimentResult] = []
+    for target in report.targets:
+        if target["throughput_tx_s"] is not None:
+            rows.append(ExperimentResult(
+                experiment, target["target"], "throughput",
+                target["throughput_tx_s"], None, "tx/s"))
+        latency = target["latency"]
+        if latency:
+            rows.append(ExperimentResult(
+                experiment, target["target"], "p50",
+                latency["p50"] * 1000, None, "ms"))
+            rows.append(ExperimentResult(
+                experiment, target["target"], "p95",
+                latency["p95"] * 1000, None, "ms"))
+    return rows
+
+
+def _write_sidecar(name: str, experiment: str, report: LoadReport,
+                   registry: MetricsRegistry, directory: Optional[str],
+                   extra: Dict[str, Any]) -> str:
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    return write_sidecar(
+        name, _result_rows(experiment, report), metrics=registry,
+        extra={"load": report.to_dict(), **extra}, directory=directory)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    targets = [LoadTarget.parse(spec, amount=args.amount)
+               for spec in args.target]
+    registry = MetricsRegistry()
+    report = asyncio.run(run_load(
+        targets, mode=args.mode, payments_per_target=args.count,
+        concurrency=args.concurrency, rate=args.rate,
+        duration_s=args.duration, max_inflight=args.max_inflight,
+        timeout=args.timeout, registry=registry))
+    addresses = sorted({(t.host, t.port) for t in targets})
+    drops = asyncio.run(transport_drops(addresses))
+    payload = {**report.to_dict(), "transport_drops": drops}
+    print(json.dumps(payload, indent=2))
+    if args.sidecar:
+        path = _write_sidecar(args.sidecar, "load run", report, registry,
+                              args.sidecar_dir, {"transport_drops": drops})
+        print(f"sidecar: {path}", file=sys.stderr)
+    if args.fail_on_drops and drops["protocol"]:
+        print(f"FAIL: {drops['protocol']} protocol-plane frame(s) dropped",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _poll(predicate, timeout: float = 30.0, interval: float = 0.05,
+          what: str = "condition") -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"timed out waiting for {what}")
+        time.sleep(interval)
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    payments = args.payments
+    handles, _ = launch_network({"alice": GENESIS, "bob": GENESIS})
+    alice = handles["alice"].control
+    bob = handles["bob"].control
+    try:
+        channel_id = alice.call("open-channel", peer="bob")["channel_id"]
+        for client, peer in ((alice, "bob"), (bob, "alice")):
+            deposit = client.call("deposit", value=DEPOSIT)
+            client.call("approve-associate", peer=peer,
+                        channel_id=channel_id, txid=deposit["txid"])
+
+        def funded(client) -> bool:
+            snapshot = client.call("channel", channel_id=channel_id)
+            return (snapshot["my_balance"] == DEPOSIT
+                    and snapshot["remote_balance"] == DEPOSIT)
+
+        _poll(lambda: funded(alice) and funded(bob),
+              what="both deposits visible on both daemons")
+
+        targets = [
+            LoadTarget(HOST, handles["alice"].control_port, channel_id,
+                       amount=A_TO_B, label="alice->bob"),
+            LoadTarget(HOST, handles["bob"].control_port, channel_id,
+                       amount=B_TO_A, label="bob->alice"),
+        ]
+        registry = MetricsRegistry()
+        report = asyncio.run(run_load(
+            targets, mode="closed", payments_per_target=payments,
+            concurrency=args.concurrency, registry=registry))
+
+        # Every payment the generators report complete must land in the
+        # channel ledger on both sides before we settle.
+        net = payments * (A_TO_B - B_TO_A)
+        final_alice = DEPOSIT - net
+        final_bob = DEPOSIT + net
+
+        def converged(client, mine, theirs) -> bool:
+            snapshot = client.call("channel", channel_id=channel_id)
+            return (snapshot["my_balance"] == mine
+                    and snapshot["remote_balance"] == theirs)
+
+        _poll(lambda: converged(alice, final_alice, final_bob)
+              and converged(bob, final_bob, final_alice),
+              what="channel balances to converge after the load run")
+
+        drops = asyncio.run(transport_drops(
+            [(HOST, handles["alice"].control_port),
+             (HOST, handles["bob"].control_port)]))
+
+        settlement = alice.call("settle", channel_id=channel_id)
+        height = alice.call("stats")["chain"]["height"]
+        _poll(lambda: bob.call("stats")["chain"]["height"] == height,
+              what="bob's chain replica to include the settlement")
+        balance_a = alice.call("balance")["onchain"]
+        balance_b = bob.call("balance")["onchain"]
+    finally:
+        for handle in handles.values():
+            handle.shutdown()
+
+    conservation = {
+        "balance_alice": balance_a,
+        "balance_bob": balance_b,
+        "total": balance_a + balance_b,
+        "expected_total": 2 * GENESIS,
+        "expected_alice": GENESIS - DEPOSIT + final_alice,
+        "expected_bob": GENESIS - DEPOSIT + final_bob,
+    }
+    path = _write_sidecar(
+        "load", "load smoke", report, registry, args.sidecar_dir,
+        {"transport_drops": drops, "conservation": conservation,
+         "settlement": settlement})
+    print(json.dumps({**report.to_dict(), "transport_drops": drops,
+                      "conservation": conservation}, indent=2))
+    print(f"sidecar: {path}", file=sys.stderr)
+
+    failures: List[str] = []
+    if drops["protocol"]:
+        failures.append(
+            f"{drops['protocol']} protocol-plane frame(s) dropped")
+    if report.errors:
+        failures.append(f"{report.errors} payment(s) errored")
+    if report.completed != 2 * payments:
+        failures.append(f"completed {report.completed} of {2 * payments}")
+    if balance_a != conservation["expected_alice"]:
+        failures.append(f"alice settled to {balance_a}, "
+                        f"expected {conservation['expected_alice']}")
+    if balance_a + balance_b != 2 * GENESIS:
+        failures.append(f"conservation broken: {balance_a + balance_b} "
+                        f"!= {2 * GENESIS}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"OK: {report.completed} payments, zero drops, "
+              "balances conserved", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.load",
+        description="Payment load generation against live daemons.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="drive already-running daemons")
+    run.add_argument("--target", action="append", required=True,
+                     metavar="HOST:PORT/CHANNEL",
+                     help="control address of the paying daemon plus the "
+                          "channel id (repeatable)")
+    run.add_argument("--mode", choices=("closed", "open"), default="closed")
+    run.add_argument("--count", type=int, default=100,
+                     help="payments per target (closed, or open without "
+                          "--duration)")
+    run.add_argument("--concurrency", type=int, default=4,
+                     help="closed loop: users per target")
+    run.add_argument("--rate", type=float, default=100.0,
+                     help="open loop: payments/s per target")
+    run.add_argument("--duration", type=float, default=None,
+                     help="open loop: run length in seconds")
+    run.add_argument("--max-inflight", type=int, default=64,
+                     help="open loop: in-flight cap per target")
+    run.add_argument("--amount", type=int, default=1)
+    run.add_argument("--timeout", type=float, default=120.0)
+    run.add_argument("--sidecar", default=None, metavar="NAME",
+                     help="write BENCH_<NAME>.json")
+    run.add_argument("--sidecar-dir", default=None)
+    run.add_argument("--fail-on-drops", action="store_true",
+                     help="exit nonzero on protocol-plane transport drops")
+    run.set_defaults(func=_cmd_run)
+
+    smoke = sub.add_parser(
+        "smoke", help="self-contained loopback load check (CI)")
+    smoke.add_argument("--payments", type=int, default=150,
+                       help="payments per direction")
+    smoke.add_argument("--concurrency", type=int, default=4)
+    smoke.add_argument("--sidecar-dir", default=None,
+                       help="where BENCH_load.json goes (default: cwd)")
+    smoke.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,8 @@ from repro.obs.metrics import (
     NullMetrics,
     exponential_buckets,
     linear_buckets,
+    nearest_rank,
+    summarize_samples,
 )
 from repro.obs.trace import DEFAULT_CAPACITY, NO_TRACE, NullTracer, Tracer
 
@@ -63,6 +65,8 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "linear_buckets",
     "exponential_buckets",
+    "nearest_rank",
+    "summarize_samples",
     "get_metrics",
     "set_metrics",
     "get_tracer",

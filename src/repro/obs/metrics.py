@@ -16,6 +16,7 @@ a string format.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,6 +30,8 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "linear_buckets",
     "exponential_buckets",
+    "nearest_rank",
+    "summarize_samples",
 ]
 
 # Latency-flavoured default buckets, in seconds: 100 µs … 10 s.  Callers
@@ -60,6 +63,48 @@ def exponential_buckets(start: float, factor: float,
         bounds.append(bound)
         bound *= factor
     return tuple(bounds)
+
+
+def nearest_rank(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile over raw samples.
+
+    The rank of the q-th quantile over n samples is ``ceil(q * n)``
+    (1-based), with ``q = 0`` defined as the minimum.  Unlike the naive
+    ``ordered[int(n * q)]`` this is exact at both ends — ``q = 1`` is the
+    maximum, never an ``IndexError`` — and returns the *lower* median for
+    even n rather than the upper.  Shared by the daemon's latency probes
+    and the ``repro.load`` reports so every p50/p95 in a sidecar means
+    the same thing.
+
+    ``samples`` need not be pre-sorted; a sorted copy is taken.
+    """
+    if not samples:
+        raise ValueError("nearest_rank needs at least one sample")
+    if not 0.0 <= q <= 1.0:  # NaN fails both comparisons too
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q * len(ordered))
+    return ordered[rank - 1]
+
+
+def summarize_samples(samples: Sequence[float],
+                      quantiles: Sequence[float] = (0.5, 0.95),
+                      ) -> Dict[str, float]:
+    """The standard latency summary block every probe/report emits:
+    count, mean, min, max, plus ``p<q>`` keys from :func:`nearest_rank`."""
+    if not samples:
+        return {"count": 0}
+    summary: Dict[str, float] = {
+        "count": len(samples),
+        "mean": sum(samples) / len(samples),
+        "min": min(samples),
+        "max": max(samples),
+    }
+    for q in quantiles:
+        summary[f"p{round(q * 100):d}"] = nearest_rank(samples, q)
+    return summary
 
 
 class Counter:

@@ -1,9 +1,12 @@
-"""Synchronous client for the daemon's line-JSON control API.
+"""Clients for the daemon's line-JSON control API.
 
-Used by the CLI, the live tests, and the loopback benchmark — all of
-which run *outside* the daemon's event loop, so a plain blocking socket
-is the right tool.  One request object per line out, one response object
-per line back, strictly in order.
+:class:`ControlClient` is synchronous — used by the CLI, the live
+tests, and the loopback benchmark, all of which run *outside* the
+daemon's event loop, so a plain blocking socket is the right tool.
+:class:`AsyncControlClient` is its asyncio twin for drivers that hold
+many control connections open concurrently (the ``repro.load``
+generators).  Both speak one request object per line out, one response
+object per line back, strictly in order.
 
 Failures are structured: the daemon answers ``{"ok": false, "code": ...,
 "error": ...}`` and :class:`ControlError` carries the stable ``code``
@@ -14,6 +17,7 @@ errors that say what was being waited for, never silent hangs.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import random
 import socket
@@ -86,6 +90,76 @@ class ControlClient:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+
+class AsyncControlClient:
+    """Asyncio line-JSON control client.
+
+    One coroutine per connection: the daemon serves each control
+    connection serially (it awaits a command before reading the next
+    line), so a driver that wants N concurrent commands in flight opens
+    N clients — which is exactly how ``repro.load`` models N closed-loop
+    users.  Create with :meth:`connect`.
+    """
+
+    def __init__(self, host: str, port: int,
+                 reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      timeout: float = 120.0) -> "AsyncControlClient":
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout)
+        except asyncio.TimeoutError:
+            raise ControlError(
+                f"connect to {host}:{port} timed out after {timeout:.1f}s",
+                code="timeout") from None
+        return cls(host, port, reader, writer, timeout=timeout)
+
+    async def call(self, cmd: str, timeout: Optional[float] = None,
+                   **kwargs: Any) -> Dict[str, Any]:
+        request = {"cmd": cmd, **kwargs}
+        deadline = self.timeout if timeout is None else timeout
+        try:
+            self._writer.write(json.dumps(request).encode() + b"\n")
+            await asyncio.wait_for(self._writer.drain(), deadline)
+            line = await asyncio.wait_for(self._reader.readline(), deadline)
+        except asyncio.TimeoutError:
+            raise ControlError(
+                f"{cmd!r} to {self.host}:{self.port} got no response "
+                f"within {deadline:.1f}s", code="timeout") from None
+        if not line:
+            raise ControlError(
+                f"daemon at {self.host}:{self.port} hung up "
+                f"while {cmd!r} was in flight", code="connection_closed")
+        response = json.loads(line)
+        if not response.pop("ok", False):
+            raise ControlError(
+                response.get("error", "unknown daemon error"),
+                code=response.get("code", "error"),
+            )
+        return response
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass
+
+    async def __aenter__(self) -> "AsyncControlClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
 
 
 def call_with_retry(client: ControlClient, cmd: str, *, attempts: int = 5,

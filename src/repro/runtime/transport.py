@@ -16,11 +16,26 @@ gossip, handed to the host's control handler).
 
 Connections are per-direction: each side dials its own outbound link
 (with exponential backoff, so daemons can start in any order) and serves
-inbound frames on its listener.  Outbound frames wait in a bounded queue;
-when the queue is full the *newest* frame is dropped and counted — the
-live analogue of the DES adversary's suppression accounting.  A single
-queue carries both protocol and control frames, so cross-plane ordering
-(e.g. "enclave ack before OpenChannelOk") is preserved per peer.
+inbound frames on its listener.  A single queue carries both protocol
+and control frames, so cross-plane ordering (e.g. "enclave ack before
+OpenChannelOk") is preserved per peer.
+
+Flow control is credit/watermark based.  The fire-and-forget ``send`` /
+``send_control`` keep the drop-newest-on-full policy (the live analogue
+of the DES adversary's suppression accounting), but drops are now
+counted *per plane* — protocol (payment envelopes) vs control (gossip,
+echoes) — so a benchmark can assert that no payment frame was ever
+lost.  The backpressured surface is:
+
+* :meth:`AsyncTcpNetwork.send_wait` — awaitable ``send`` that waits for
+  queue space instead of dropping;
+* :meth:`AsyncTcpNetwork.wait_writable` — credit gate: resolves while
+  the peer's queue is below its high watermark; once the queue fills
+  past it, senders park until the drain loop pulls it back under the
+  low watermark (hysteresis, so a saturated queue drains in bulk
+  instead of thrashing one frame at a time);
+* :meth:`AsyncTcpNetwork.flush` — barrier that resolves once every
+  queued outbound frame has been written to the socket.
 """
 
 from __future__ import annotations
@@ -73,6 +88,17 @@ class _PeerLink:
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=network.max_queue)
         self.connected = asyncio.Event()
         self.drops = 0
+        self.drops_by_plane: Dict[str, int] = {"protocol": 0, "control": 0}
+        self.backpressure_waits = 0
+        # Credit gate with hysteresis: cleared when the queue crosses the
+        # high watermark, set again once the drain loop pulls it back to
+        # the low watermark.  wait_writable() parks on this event.
+        self.writable = asyncio.Event()
+        self.writable.set()
+        # Barrier for flush(): set whenever the queue is empty and no
+        # popped frame is awaiting its socket write.
+        self.drained = asyncio.Event()
+        self.drained.set()
         self.reconnects = 0
         # Fault injection: a black-holed link keeps its TCP connection but
         # silently discards outbound frames — the peer sees silence, not a
@@ -86,17 +112,42 @@ class _PeerLink:
             self._run(), name=f"link:{self.network.name}->{self.name}"
         )
 
-    def enqueue(self, frame: bytes) -> bool:
+    def _after_put(self) -> None:
+        self.drained.clear()
+        if self.queue.qsize() >= self.network.high_watermark:
+            self.writable.clear()
+
+    def enqueue(self, frame: bytes, plane: str = "protocol") -> bool:
         try:
             self.queue.put_nowait(frame)
+            self._after_put()
             return True
         except asyncio.QueueFull:
             self.drops += 1
+            self.drops_by_plane[plane] = self.drops_by_plane.get(plane, 0) + 1
             if self.network._metrics.enabled:
                 self.network._metrics.inc("runtime.queue_drops")
-            logger.warning("%s->%s: outbound queue full, dropping frame",
-                           self.network.name, self.name)
+                self.network._metrics.inc(f"runtime.queue_drops[{plane}]")
+            logger.warning("%s->%s: outbound queue full, dropping %s frame",
+                           self.network.name, self.name, plane)
             return False
+
+    async def enqueue_wait(self, frame: bytes, plane: str = "protocol") -> None:
+        """Backpressured enqueue: waits for queue space, never drops.
+
+        The watermark gate comes first so a saturated queue drains in
+        bulk before new senders proceed; the awaitable ``put`` behind it
+        is the hard guarantee that even a burst of concurrently released
+        senders cannot overflow the queue."""
+        if not self.writable.is_set():
+            self.backpressure_waits += 1
+            if self.network._metrics.enabled:
+                self.network._metrics.inc("runtime.backpressure_waits")
+                self.network._metrics.inc(
+                    f"runtime.backpressure_waits[{plane}]")
+            await self.writable.wait()
+        await self.queue.put(frame)
+        self._after_put()
 
     async def _run(self) -> None:
         backoff = self.network.backoff_base
@@ -120,16 +171,19 @@ class _PeerLink:
                 while True:
                     if pending is None:
                         pending = await self.queue.get()
+                        self._after_pop()
                     if self.blackholed:
                         self.blackhole_drops += 1
                         if self.network._metrics.enabled:
                             self.network._metrics.inc(
                                 "runtime.blackhole_drops")
                         pending = None
+                        self._mark_drained()
                         continue
                     writer.write(pending)
                     await writer.drain()
                     pending = None
+                    self._mark_drained()
             except asyncio.CancelledError:
                 break
             except (OSError, asyncio.IncompleteReadError,
@@ -174,6 +228,29 @@ class _PeerLink:
         if handler is not None:
             handler(ack)
 
+    def _after_pop(self) -> None:
+        # Hysteresis: credit returns only once the drain loop has pulled
+        # the queue down to the low watermark, not one slot below high.
+        if (not self.writable.is_set()
+                and self.queue.qsize() <= self.network.low_watermark):
+            self.writable.set()
+
+    def _mark_drained(self) -> None:
+        if self.queue.empty():
+            self.drained.set()
+
+    async def flush(self, timeout: float = 30.0) -> None:
+        """Barrier: every frame queued before this call has been written
+        to the socket (or discarded by an active blackhole)."""
+        try:
+            await asyncio.wait_for(self.drained.wait(), timeout)
+        except asyncio.TimeoutError:
+            raise NetworkError(
+                f"{self.network.name}->{self.name}: flush timed out after "
+                f"{timeout:.1f}s with {self.queue.qsize()} frames queued "
+                f"(connected={self.connected.is_set()})"
+            ) from None
+
     def sever(self) -> None:
         """Cut the TCP connection now.  The dial loop restarts from
         scratch, so the link heals itself after the backoff — a sever
@@ -205,12 +282,29 @@ class AsyncTcpNetwork(BaseNetwork):
         max_queue: int = 1024,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
+        high_watermark: Optional[int] = None,
+        low_watermark: Optional[int] = None,
     ) -> None:
         super().__init__()
         self.name = name
         self.host = host
         self.port = port
         self.max_queue = max_queue
+        # Credit watermarks: senders lose credit when a link's queue
+        # reaches ``high`` and regain it once the drain loop has pulled
+        # it back to ``low``.  The gap between ``high`` and ``max_queue``
+        # is headroom for fire-and-forget frames issued while credit
+        # holders are mid-burst, so the waiting path never causes the
+        # dropping path to trigger.
+        self.high_watermark = (high_watermark if high_watermark is not None
+                               else max(1, (3 * max_queue) // 4))
+        self.low_watermark = (low_watermark if low_watermark is not None
+                              else max(0, max_queue // 4))
+        if not 0 <= self.low_watermark < self.high_watermark <= max_queue:
+            raise NetworkError(
+                f"watermarks must satisfy 0 <= low < high <= max_queue, "
+                f"got low={self.low_watermark} high={self.high_watermark} "
+                f"max_queue={max_queue}")
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.frames_received = 0
@@ -304,8 +398,8 @@ class AsyncTcpNetwork(BaseNetwork):
     # Sending (BaseNetwork interface)
     # ------------------------------------------------------------------
 
-    def send(self, sender: str, destination: str, payload: Any,
-             size: Optional[int] = None) -> None:
+    def _protocol_frame(self, sender: str, destination: str, payload: Any,
+                        size: Optional[int]) -> Tuple[Message, bytes]:
         if isinstance(payload, (bytes, bytearray)):
             envelope = Envelope(sender, destination, bytes(payload))
         elif codec.encodable(payload):
@@ -322,21 +416,79 @@ class AsyncTcpNetwork(BaseNetwork):
         message = Message(sender, destination, payload,
                           size if size is not None else len(frame),
                           context)
+        return message, frame
+
+    def _route(self, message: Message,
+               destination: str) -> Tuple[bool, Optional[_PeerLink]]:
+        """Common accounting + local-delivery; returns (done, link)."""
         if not self._account_send(message):
-            return
+            return True, None
         handler = self._handlers.get(destination)
         if handler is not None:
             # Local endpoint (loopback): deliver without touching a socket.
             handler(message)
-            return
+            return True, None
         link = self._links.get(destination)
         if link is None:
             logger.warning("%s: no route to %r, dropping frame",
                            self.name, destination)
             if self._metrics.enabled:
                 self._metrics.inc("runtime.no_route_drops")
+            return True, None
+        return False, link
+
+    def send(self, sender: str, destination: str, payload: Any,
+             size: Optional[int] = None) -> None:
+        """Fire-and-forget protocol send: drops (counted, per plane) when
+        the peer's outbound queue is full."""
+        message, frame = self._protocol_frame(sender, destination, payload,
+                                              size)
+        done, link = self._route(message, destination)
+        if not done:
+            link.enqueue(frame, plane="protocol")
+
+    async def send_wait(self, sender: str, destination: str, payload: Any,
+                        size: Optional[int] = None) -> None:
+        """Backpressured protocol send: waits for queue credit instead of
+        dropping.  Sustained overload slows the sender down; it never
+        loses a payment frame."""
+        message, frame = self._protocol_frame(sender, destination, payload,
+                                              size)
+        done, link = self._route(message, destination)
+        if not done:
+            await link.enqueue_wait(frame, plane="protocol")
+
+    async def wait_writable(self, destination: str,
+                            timeout: float = 30.0) -> None:
+        """Credit gate: resolves while ``destination``'s outbound queue
+        is below its high watermark (always, for local endpoints)."""
+        link = self._links.get(destination)
+        if link is None or link.writable.is_set():
             return
-        link.enqueue(frame)
+        link.backpressure_waits += 1
+        if self._metrics.enabled:
+            self._metrics.inc("runtime.backpressure_waits")
+        try:
+            await asyncio.wait_for(link.writable.wait(), timeout)
+        except asyncio.TimeoutError:
+            raise NetworkError(
+                f"{self.name}->{destination}: no send credit within "
+                f"{timeout:.1f}s ({link.queue.qsize()} frames queued, "
+                f"connected={link.connected.is_set()})"
+            ) from None
+
+    async def flush(self, destination: Optional[str] = None,
+                    timeout: float = 30.0) -> None:
+        """Barrier: every outbound frame queued before this call has been
+        written to its socket (all links, or just ``destination``)."""
+        if destination is not None:
+            link = self._links.get(destination)
+            if link is None:
+                raise NetworkError(f"no link to {destination!r}")
+            await link.flush(timeout)
+            return
+        for link in list(self._links.values()):
+            await link.flush(timeout)
 
     def send_control(self, peer: str, obj: Any) -> None:
         """Send a control-plane object (gossip, channel coordination)."""
@@ -347,7 +499,7 @@ class AsyncTcpNetwork(BaseNetwork):
         message = Message(self.name, peer, obj, len(frame))
         if not self._account_send(message):
             return
-        link.enqueue(frame)
+        link.enqueue(frame, plane="control")
 
     # ------------------------------------------------------------------
     # Receiving
@@ -433,6 +585,10 @@ class AsyncTcpNetwork(BaseNetwork):
                     "connected": link.connected.is_set(),
                     "queued": link.queue.qsize(),
                     "drops": link.drops,
+                    "drops_protocol": link.drops_by_plane.get("protocol", 0),
+                    "drops_control": link.drops_by_plane.get("control", 0),
+                    "backpressure_waits": link.backpressure_waits,
+                    "writable": link.writable.is_set(),
                     "reconnects": link.reconnects,
                     "blackholed": link.blackholed,
                     "blackhole_drops": link.blackhole_drops,

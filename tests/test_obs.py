@@ -272,3 +272,62 @@ class TestHarnessSidecar:
         assert loaded["results"][0]["measured"] == 10.0
         assert loaded["results"][0]["ratio"] == pytest.approx(0.5)
         assert loaded["metrics"]["counters"]["netsim.retries"] == 9
+
+
+class TestQuantileHelper:
+    """Nearest-rank quantiles: the shared helper behind the daemon's
+    latency probes and the repro.load reports."""
+
+    def test_quantile_is_order_statistic_exact(self):
+        from repro.obs import nearest_rank
+        # rank = ceil(q·n), 1-based: p95 of 1..100 is the 95th value.
+        # The naive ordered[int(n*q)] indexing this replaced is 0-based,
+        # off by one rank — it returned the 96th.
+        samples = list(range(1, 101))
+        assert nearest_rank(samples, 0.95) == 95
+        assert samples[int(len(samples) * 0.95)] == 96  # the old bug
+        # Small n: naive p90 of ten samples indexed ordered[9] — the max.
+        samples = list(range(1, 11))
+        assert nearest_rank(samples, 0.9) == 9
+        assert samples[int(len(samples) * 0.9)] == 10  # the old bug
+
+    def test_median_of_even_sample_is_lower_middle(self):
+        from repro.obs import nearest_rank
+        # Nearest rank is order-statistic exact: ceil(0.5*4) = 2nd value,
+        # not the upper middle the naive n//2 indexing produced.
+        assert nearest_rank([1, 2, 3, 4], 0.5) == 2
+        assert nearest_rank([1, 2, 3], 0.5) == 2
+
+    def test_edge_quantiles_and_unsorted_input(self):
+        from repro.obs import nearest_rank
+        samples = [5.0, 1.0, 3.0]
+        assert nearest_rank(samples, 0.0) == 1.0
+        assert nearest_rank(samples, 1.0) == 5.0
+        assert nearest_rank([42.0], 0.5) == 42.0
+
+    def test_invalid_inputs_rejected(self):
+        from repro.obs import nearest_rank
+        with pytest.raises(ValueError):
+            nearest_rank([], 0.5)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 1.5)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], -0.1)
+
+    def test_summarize_samples(self):
+        from repro.obs import summarize_samples
+        summary = summarize_samples([4.0, 2.0, 1.0, 3.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] == 2.0
+        assert summary["p95"] == 4.0
+
+    def test_summarize_samples_custom_quantiles(self):
+        from repro.obs import summarize_samples
+        summary = summarize_samples(list(range(1, 101)),
+                                    quantiles=(0.25, 0.99))
+        assert summary["p25"] == 25
+        assert summary["p99"] == 99
+        assert "p50" not in summary

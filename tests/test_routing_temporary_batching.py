@@ -217,3 +217,40 @@ class TestBatching:
         assert batcher.payments_batched == 7
         assert batcher.batches_flushed == 1
         assert alice.program.payments_sent == 7
+
+    def test_flush_failure_restores_unflushed_batches(self, open_channel):
+        """A failing channel must not destroy the other channels' queued
+        batches (flush used to swap _pending out and drop everything on
+        the floor when one pay raised).  The failed batch itself stays
+        queued too — top up the channel and the re-armed window timer
+        delivers every payment."""
+        network, alice, bob, channel = open_channel
+        other = alice.open_channel(bob)
+        record = alice.create_deposit(10_000)
+        alice.approve_and_associate(bob, record, other)
+        # Minted up front: create_deposit mines, and mining drains the
+        # scheduler — which would fire the re-armed window timer early.
+        top_up = alice.create_deposit(20_000)
+        batcher = PaymentBatcher(alice, window=0.1,
+                                 scheduler=network.scheduler)
+        batcher.submit(channel, 60_000)  # exceeds the 50k deposit
+        batcher.submit(channel, 1_000)
+        batcher.submit(other, 500)
+        with pytest.raises(PaymentError):
+            batcher.flush()
+        # Everything restored: the failed channel's batch and the one
+        # flush never reached.
+        assert batcher.pending_count(channel) == 2
+        assert batcher.pending_count(other) == 1
+        assert batcher.batches_flushed == 0
+        assert alice.program.payments_sent == 0
+        # The window timer was re-armed; after funding the shortfall the
+        # scheduled flush delivers all three payments.
+        alice.approve_and_associate(bob, top_up, channel)
+        network.scheduler.run()
+        assert batcher.pending_payments() == 0
+        assert batcher.batches_flushed == 2
+        assert alice.program.payments_sent == 3
+        assert bob.program.payments_received == 3
+        alice.assert_balance_correct()
+        bob.assert_balance_correct()

@@ -230,3 +230,132 @@ class TestAsyncTcpNetwork:
             await b.stop()
 
         asyncio.run(scenario())
+
+
+@pytest.mark.live
+class TestFlowControl:
+    """Credit/watermark flow control on the outbound queues."""
+
+    def test_send_wait_blocks_instead_of_dropping(self):
+        async def scenario():
+            # max_queue=4 → high watermark 3: three sends go straight in,
+            # the fourth waits for credit instead of dropping.
+            a = AsyncTcpNetwork("a", max_queue=4)
+            await a.start()
+            from repro.runtime.launch import free_port
+            port = free_port()
+            a.add_peer("b", "127.0.0.1", port)  # not listening yet
+            for index in range(3):
+                await a.send_wait("a", "b", f"f{index}".encode())
+            link = a._links["b"]
+            assert not link.writable.is_set()
+
+            blocked = asyncio.ensure_future(
+                a.send_wait("a", "b", b"f3"))
+            await asyncio.sleep(0.1)
+            assert not blocked.done()  # backpressured, not dropped
+
+            b = AsyncTcpNetwork("b", port=port)
+            received = asyncio.Queue()
+            b.register("b", received.put_nowait)
+            await b.start()
+            payloads = [
+                (await asyncio.wait_for(received.get(), 5.0)).payload
+                for _ in range(4)
+            ]
+            await asyncio.wait_for(blocked, 5.0)
+            assert payloads == [b"f0", b"f1", b"f2", b"f3"]
+            assert link.drops == 0
+            assert link.drops_by_plane == {"protocol": 0, "control": 0}
+            assert link.backpressure_waits >= 1
+            await a.stop()
+            await b.stop()
+
+        asyncio.run(scenario())
+
+    def test_drops_counted_per_plane(self):
+        async def scenario():
+            a = AsyncTcpNetwork("a", max_queue=4)
+            await a.start()
+            from repro.runtime.launch import free_port
+            a.add_peer("b", "127.0.0.1", free_port())  # never connects
+            for _ in range(7):           # 4 fill the queue, 3 drop
+                a.send("a", "b", b"x")
+            for seq in range(2):         # both drop, on the control plane
+                a.send_control("b", Echo(seq=seq, origin="a"))
+            link = a._links["b"]
+            assert link.drops == 5
+            assert link.drops_by_plane == {"protocol": 3, "control": 2}
+            peer_stats = a.stats()["peers"]["b"]
+            assert peer_stats["drops_protocol"] == 3
+            assert peer_stats["drops_control"] == 2
+            await a.stop()
+
+        asyncio.run(scenario())
+
+    def test_flush_is_a_write_barrier(self):
+        async def scenario():
+            a = AsyncTcpNetwork("a")
+            b = AsyncTcpNetwork("b")
+            await a.start()
+            await b.start()
+            received = asyncio.Queue()
+            b.register("b", received.put_nowait)
+            a.add_peer("b", b.host, b.port)
+            await a.wait_connected("b", 5.0)
+            for index in range(20):
+                a.send("a", "b", f"frame{index}".encode())
+            await a.flush("b", timeout=5.0)
+            assert a._links["b"].queue.qsize() == 0
+            # flush() with no destination covers every link.
+            await a.flush(timeout=5.0)
+            for _ in range(20):
+                await asyncio.wait_for(received.get(), 5.0)
+            await a.stop()
+            await b.stop()
+
+        asyncio.run(scenario())
+
+    def test_flush_timeout_reports_queue_depth(self):
+        async def scenario():
+            a = AsyncTcpNetwork("a", max_queue=8)
+            await a.start()
+            from repro.runtime.launch import free_port
+            a.add_peer("b", "127.0.0.1", free_port())  # never connects
+            a.send("a", "b", b"stuck")
+            with pytest.raises(NetworkError, match="flush timed out"):
+                await a.flush("b", timeout=0.2)
+            await a.stop()
+
+        asyncio.run(scenario())
+
+    def test_wait_writable_hysteresis(self):
+        async def scenario():
+            # high=3, low=1: credit is lost when the queue reaches 3 and
+            # only returns once it has drained back down to 1 — a stalled
+            # sender resumes into bulk headroom, not a single free slot.
+            a = AsyncTcpNetwork("a", max_queue=4)
+            await a.start()
+            from repro.runtime.launch import free_port
+            port = free_port()
+            a.add_peer("b", "127.0.0.1", port)
+            await a.wait_writable("b")  # plenty of credit while empty
+            for index in range(3):
+                a.send("a", "b", f"f{index}".encode())
+            link = a._links["b"]
+            assert not link.writable.is_set()
+            with pytest.raises(NetworkError, match="no send credit"):
+                await a.wait_writable("b", timeout=0.2)
+
+            b = AsyncTcpNetwork("b", port=port)
+            received = asyncio.Queue()
+            b.register("b", received.put_nowait)
+            await b.start()
+            await a.wait_writable("b", timeout=5.0)  # drained → credit back
+            assert link.queue.qsize() <= 1
+            # Unknown destinations have no queue to exert pressure.
+            await a.wait_writable("nobody", timeout=0.1)
+            await a.stop()
+            await b.stop()
+
+        asyncio.run(scenario())
