@@ -23,6 +23,7 @@ from repro.core.messages import (
     ApproveMyDeposit,
     ApprovedDeposit,
     AssociatedDeposit,
+    ChannelCheckpoint,
     DissociateDeposit,
     DissociateDepositAck,
     NewChannelAck,
@@ -48,7 +49,7 @@ from repro.errors import (
     SettlementError,
 )
 from repro.network.secure_channel import SecureChannel
-from repro.obs import get_tracer
+from repro.obs import get_metrics, get_tracer
 from repro.tee.enclave import EnclaveProgram
 
 logger = logging.getLogger(__name__)
@@ -131,6 +132,21 @@ class ChannelProtocol(EnclaveProgram):
         # only co-sign transactions in their replicated valid set, so the
         # pre/post/τ candidates must be replicated ahead of signing.
         self.pending_candidate_txids: Dict[str, Set[str]] = {}
+        # Session-MAC fast path: when enabled, Paid messages ride the
+        # secure channel's MAC alone and the identity signature over the
+        # channel state is deferred into a ChannelCheckpoint every
+        # ``checkpoint_every`` payments (and forced before any balance-
+        # affecting reconfiguration — see _flush_checkpoint).
+        self.fastpath_enabled = False
+        self.checkpoint_every = 64
+        # Per channel: MAC-only payments sent since the last checkpoint.
+        self._fastpath_unsigned: Dict[str, int] = {}
+        # Per channel: checkpoint counters (ours sent / theirs accepted).
+        self._checkpoint_index_out: Dict[str, int] = {}
+        self._checkpoint_index_in: Dict[str, int] = {}
+        # Latest verified remote checkpoint per channel (dispute evidence:
+        # a signed commitment to balances at a known sequence point).
+        self._remote_checkpoints: Dict[str, ChannelCheckpoint] = {}
 
     # ------------------------------------------------------------------
     # Transactional ecalls (Alg. 3: replication ack gates state updates)
@@ -165,6 +181,8 @@ class ChannelProtocol(EnclaveProgram):
         "channels", "deposits", "deposit_keys", "approved_deposits",
         "_pay_seq_out", "_pay_seq_in", "settlements",
         "pending_candidate_txids", "retired_sessions",
+        "_fastpath_unsigned", "_checkpoint_index_out",
+        "_checkpoint_index_in", "_remote_checkpoints",
     )
 
     def _rollback_snapshot(self):
@@ -243,6 +261,17 @@ class ChannelProtocol(EnclaveProgram):
         secure = self._secure_channel_for(remote_key)
         signed = SignedMessage.create(body, self.identity.private)
         envelope = secure.seal_message(signed)
+        peer_name = self.peer_names[remote_key.to_bytes()]
+        self.send(peer_name, envelope)
+
+    def _send_fastpath(self, remote_key: PublicKey, body: Any) -> None:
+        """Seal a bare message under the secure channel — no identity
+        signature.  The channel's encrypt-then-MAC (session keys from the
+        attested handshake) plus its replay counters already authenticate
+        the sending *enclave*; the deferred signature is re-established by
+        the next :class:`ChannelCheckpoint`."""
+        secure = self._secure_channel_for(remote_key)
+        envelope = secure.seal_message(body)
         peer_name = self.peer_names[remote_key.to_bytes()]
         self.send(peer_name, envelope)
 
@@ -488,6 +517,7 @@ class ChannelProtocol(EnclaveProgram):
         channel = self._channel(channel_id)
         channel.require_open()  # line 65
         channel.require_stage(MultihopStage.IDLE)
+        self._flush_checkpoint(channel_id)
         key_bytes = channel.remote_key.to_bytes()
         if outpoint not in self.approved_deposits.get(key_bytes, set()):
             raise DepositError(
@@ -587,6 +617,7 @@ class ChannelProtocol(EnclaveProgram):
         channel = self._channel(channel_id)
         channel.require_open()
         channel.require_stage(MultihopStage.IDLE)
+        self._flush_checkpoint(channel_id)
         if outpoint not in channel.my_deposits:
             raise DepositError(
                 f"deposit {outpoint} is not ours in channel {channel_id!r}"  # 91
@@ -672,12 +703,135 @@ class ChannelProtocol(EnclaveProgram):
         self._pay_seq_out[channel_id] += 1
         self.payments_sent += batch_count
         self._replicated(f"pay:{channel_id}:{amount}")
+        message = Paid(channel_id=channel_id, amount=amount,
+                       sequence=self._pay_seq_out[channel_id],
+                       batch_count=batch_count)  # line 86
+        if self.fastpath_enabled:
+            # MAC fast path: skip the per-payment ECDSA signature and
+            # defer it into the next checkpoint.
+            self._send_fastpath(channel.remote_key, message)
+            self._fastpath_unsigned[channel_id] = (
+                self._fastpath_unsigned.get(channel_id, 0) + 1)
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("crypto.mac_fastpath")
+                metrics.inc("crypto.sign_deferred")
+            if self._fastpath_unsigned[channel_id] >= self.checkpoint_every:
+                self.checkpoint(channel_id)
+        else:
+            self.send_secure(channel.remote_key, message)
+
+    # ------------------------------------------------------------------
+    # Fast-path configuration and deferred checkpoints
+    # ------------------------------------------------------------------
+
+    def set_fastpath(self, enabled: bool,
+                     checkpoint_every: Optional[int] = None) -> Dict[str, Any]:
+        """Configure the session-MAC fast path.
+
+        Disabling flushes every channel's pending checkpoint first, so no
+        MAC-only payment is ever left without a covering signature once
+        the fast path is off."""
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise PaymentError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}")
+            self.checkpoint_every = checkpoint_every
+        if not enabled and self.fastpath_enabled:
+            self.checkpoint_all()
+        self.fastpath_enabled = bool(enabled)
+        return {"enabled": self.fastpath_enabled,
+                "checkpoint_every": self.checkpoint_every}
+
+    def checkpoint(self, channel_id: str) -> bool:
+        """Emit the deferred state signature for one channel.
+
+        Sends a signed :class:`ChannelCheckpoint` covering every MAC-only
+        payment since the previous checkpoint.  No-op (returns False) when
+        nothing is pending."""
+        channel = self._channel(channel_id)
+        if self._fastpath_unsigned.get(channel_id, 0) == 0:
+            return False
+        self._fastpath_unsigned[channel_id] = 0
+        index = self._checkpoint_index_out.get(channel_id, 0) + 1
+        self._checkpoint_index_out[channel_id] = index
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("crypto.checkpoints_sent")
+        self._replicated(f"checkpoint:{channel_id}:{index}")
         self.send_secure(
             channel.remote_key,
-            Paid(channel_id=channel_id, amount=amount,
-                 sequence=self._pay_seq_out[channel_id],
-                 batch_count=batch_count),  # line 86
+            ChannelCheckpoint(
+                channel_id=channel_id,
+                index=index,
+                sequence_out=self._pay_seq_out.get(channel_id, 0),
+                sequence_in=self._pay_seq_in.get(channel_id, 0),
+                my_balance=channel.my_balance,
+                remote_balance=channel.remote_balance,
+            ),
         )
+        return True
+
+    def checkpoint_all(self) -> int:
+        """Flush pending checkpoints on every channel; returns the count
+        flushed (the daemon's T-ms checkpoint timer calls this)."""
+        flushed = 0
+        for channel_id, pending in list(self._fastpath_unsigned.items()):
+            if pending and channel_id in self.channels \
+                    and not self.channels[channel_id].terminated:
+                if self.checkpoint(channel_id):
+                    flushed += 1
+        return flushed
+
+    def _flush_checkpoint(self, channel_id: str) -> None:
+        """Force the deferred signature out before any operation that
+        settles, reconfigures, or locks the channel — afterwards every
+        payment that influenced the balances is signature-covered."""
+        if self._fastpath_unsigned.get(channel_id, 0):
+            self.checkpoint(channel_id)
+
+    def _on_channel_checkpoint(self, sender: PublicKey,
+                               checkpoint: ChannelCheckpoint) -> None:
+        """Validate and record the peer's signed balance commitment.
+
+        Per-direction FIFO delivery means every payment the checkpoint
+        covers arrived before it, so the sender's ``sequence_out`` must
+        equal our inbound sequence exactly.  ``sequence_in`` (their view
+        of *our* payments) may lag ours — payments of ours may still be
+        in flight toward them — but can never exceed it.  Balances are
+        compared only when both directions are quiescent; with traffic in
+        flight the views legitimately differ by the in-flight amounts.
+        """
+        channel = self._channel(checkpoint.channel_id)
+        channel.require_open()
+        if channel.remote_key != sender:
+            raise PaymentError("checkpoint from non-peer key")
+        cid = checkpoint.channel_id
+        expected_index = self._checkpoint_index_in.get(cid, 0) + 1
+        if checkpoint.index != expected_index:
+            raise ProtocolError(
+                f"checkpoint index {checkpoint.index}, expected "
+                f"{expected_index}")
+        if checkpoint.sequence_out != self._pay_seq_in.get(cid, 0):
+            raise PaymentError(
+                f"checkpoint covers sequence {checkpoint.sequence_out} but "
+                f"{self._pay_seq_in.get(cid, 0)} payments arrived")
+        if checkpoint.sequence_in > self._pay_seq_out.get(cid, 0):
+            raise PaymentError(
+                "checkpoint claims payments we never sent")
+        quiescent = checkpoint.sequence_in == self._pay_seq_out.get(cid, 0)
+        if quiescent and (checkpoint.my_balance != channel.remote_balance
+                          or checkpoint.remote_balance != channel.my_balance):
+            raise PaymentError(
+                f"checkpoint balances ({checkpoint.my_balance}, "
+                f"{checkpoint.remote_balance}) disagree with local view "
+                f"({channel.remote_balance}, {channel.my_balance})")
+        self._checkpoint_index_in[cid] = checkpoint.index
+        self._remote_checkpoints[cid] = checkpoint
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("crypto.checkpoints_accepted")
+        self._replicated(f"checkpoint_in:{cid}:{checkpoint.index}")
 
     def _on_paid(self, sender: PublicKey, payment: Paid) -> None:
         """Line 87: credit an incoming payment."""
@@ -720,6 +874,7 @@ class ChannelProtocol(EnclaveProgram):
         channel = self._channel(channel_id)
         channel.require_open()
         channel.require_stage(MultihopStage.IDLE)
+        self._flush_checkpoint(channel_id)
         if channel.is_neutral(self._deposit_value):  # line 106
             channel.settling_offchain = True
             for outpoint in sorted(channel.my_deposits):
@@ -749,6 +904,7 @@ class ChannelProtocol(EnclaveProgram):
             raise SettlementError(
                 "channel is locked in a multi-hop payment; use eject"
             )
+        self._flush_checkpoint(channel_id)
         transaction = build_channel_settlement(
             channel,
             deposits_of=self.deposits,
@@ -858,16 +1014,27 @@ class ChannelProtocol(EnclaveProgram):
         DissociateDeposit: "_on_dissociate_deposit",
         DissociateDepositAck: "_on_dissociate_ack",
         Paid: "_on_paid",
+        ChannelCheckpoint: "_on_channel_checkpoint",
         SettleRequest: "_on_settle_request",
         SettleNotify: "_on_settle_notify",
     }
+
+    # Message types the MAC fast path may deliver *without* an identity
+    # signature: only Paid.  A bare Paid is still authenticated (secure-
+    # channel MAC, keys from the attested handshake) and fresh (replay
+    # counters), and it can only move value *from* the authenticated
+    # sender to us — the deferred signature is recovered by the next
+    # ChannelCheckpoint.  Everything else (checkpoints included) must
+    # arrive signed.
+    _FASTPATH_TYPES = (Paid,)
 
     def handle_envelope(self, peer_name: str, envelope: bytes) -> None:
         """Entry point for all incoming protocol traffic.
 
         Looks up the secure channel for ``peer_name``, opens the sealed
-        envelope (authenticity + freshness), verifies the inner signature,
-        and dispatches on the message type.
+        envelope (authenticity + freshness), verifies the inner signature
+        — or, for fast-path-eligible types arriving bare, relies on the
+        secure channel's MAC — and dispatches on the message type.
         """
         remote_key = None
         for key_bytes, name in self.peer_names.items():
@@ -877,9 +1044,18 @@ class ChannelProtocol(EnclaveProgram):
         if remote_key is None:
             raise ChannelStateError(f"no secure channel with peer {peer_name!r}")
         secure = self.secure_channels[remote_key]
-        signed: SignedMessage = secure.open_message(envelope)
-        signed.verify(expected_sender=secure.remote_key)
-        self.dispatch(signed.sender_key, signed.body)
+        payload = secure.open_message(envelope)
+        if isinstance(payload, SignedMessage):
+            payload.verify(expected_sender=secure.remote_key)
+            self.dispatch(payload.sender_key, payload.body)
+            return
+        if isinstance(payload, self._FASTPATH_TYPES):
+            # The secure channel authenticated the peer enclave; its
+            # pinned identity key is the sender.
+            self.dispatch(secure.remote_key, payload)
+            return
+        raise ProtocolError(
+            f"{type(payload).__name__} may not arrive unsigned")
 
     def dispatch(self, sender: PublicKey, body: Any) -> None:
         handler_name = self._lookup_handler(type(body))
@@ -993,6 +1169,17 @@ def _replication_blob(program: "ChannelProtocol") -> bytes:
         },
         "payments_sent": program.payments_sent,
         "payments_received": program.payments_received,
+        # Fast-path bookkeeping: a recovering enclave must know how many
+        # payments its last checkpoint left unsigned (it flushes them on
+        # restore) and must not regress the checkpoint index chains.
+        "fastpath": {
+            "enabled": program.fastpath_enabled,
+            "checkpoint_every": program.checkpoint_every,
+            "unsigned": dict(program._fastpath_unsigned),
+            "index_out": dict(program._checkpoint_index_out),
+            "index_in": dict(program._checkpoint_index_in),
+            "remote_checkpoints": dict(program._remote_checkpoints),
+        },
         # In-flight multi-hop sessions (absent on bare ChannelProtocol
         # programs): a restored/recovering enclave must be able to eject
         # in-flight payments, which needs the candidate settlements and

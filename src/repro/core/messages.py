@@ -176,6 +176,29 @@ class Paid:
 
 
 @dataclass(frozen=True)
+class ChannelCheckpoint:
+    """A signed commitment to a channel's payment state, sent every K
+    fast-path payments (and forced before settle/reconfigure/eject).
+
+    On the MAC fast path individual :class:`Paid` messages are
+    authenticated only by the secure channel's session MAC; the deferred
+    identity *signature* over the balances is amortised into these
+    checkpoints.  ``index`` totally orders a sender's checkpoints per
+    channel; ``sequence_out``/``sequence_in`` pin the payment sequence
+    numbers the balances correspond to, so a receiver can validate the
+    checkpoint against its own view (per-direction FIFO delivery makes
+    ``sequence_out`` exact on arrival).
+    """
+
+    channel_id: str
+    index: int
+    sequence_out: int     # sender's outbound payment sequence
+    sequence_in: int      # sender's inbound payment sequence
+    my_balance: int       # sender's balance in the sender's view
+    remote_balance: int   # receiver's balance in the sender's view
+
+
+@dataclass(frozen=True)
 class SettleRequest:
     """Alg. 1 line 108: ask the remote to dissociate all deposits for an
     off-chain (neutral-balance) termination."""

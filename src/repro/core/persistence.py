@@ -124,6 +124,15 @@ def restore_program_state(program: ChannelProtocol,
     }
     program.payments_sent = state.get("payments_sent", 0)
     program.payments_received = state.get("payments_received", 0)
+    # Session-MAC fast-path bookkeeping (absent in pre-fast-path blobs:
+    # the defaults leave the fast path off with clean counters).
+    fastpath = state.get("fastpath", {})
+    program.fastpath_enabled = fastpath.get("enabled", False)
+    program.checkpoint_every = fastpath.get("checkpoint_every", 64)
+    program._fastpath_unsigned = dict(fastpath.get("unsigned", {}))
+    program._checkpoint_index_out = dict(fastpath.get("index_out", {}))
+    program._checkpoint_index_in = dict(fastpath.get("index_in", {}))
+    program._remote_checkpoints = dict(fastpath.get("remote_checkpoints", {}))
     # In-flight multi-hop sessions, when the program supports them (the
     # full TeechainEnclave does; bare ChannelProtocol programs do not).
     # Restoring these is what lets a recovered enclave eject payments

@@ -21,9 +21,10 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import InvalidKey, InvalidSignature
+from repro.obs import get_metrics
 
 # secp256k1 domain parameters.
 P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
@@ -109,8 +110,51 @@ def _jacobian_multiply(point: JacobianPoint, scalar: int) -> JacobianPoint:
     return result
 
 
+# -- fixed-window precomputed-G multiplication ---------------------------
+#
+# Generator multiples dominate the remaining ECDSA cost (one k*G per sign,
+# one u1*G per verify).  With G fixed we can precompute d * 16^w * G for
+# every 4-bit window w and digit d, turning a 256-double/128-add ladder
+# into at most 64 additions.  The table is built lazily on first use
+# (~1k group operations, tens of ms once per process) and never exposed.
+
+_WINDOW_BITS = 4
+_WINDOW_COUNT = 64   # ceil(256 / _WINDOW_BITS)
+_G_TABLE: List[List[JacobianPoint]] = []
+
+
+def _generator_table() -> List[List[JacobianPoint]]:
+    if not _G_TABLE:
+        base: JacobianPoint = (GX, GY, 1)
+        for _ in range(_WINDOW_COUNT):
+            row: List[JacobianPoint] = [_JACOBIAN_INFINITY, base]
+            for _ in range(2, 1 << _WINDOW_BITS):
+                row.append(_jacobian_add(row[-1], base))
+            _G_TABLE.append(row)
+            for _ in range(_WINDOW_BITS):
+                base = _jacobian_double(base)
+    return _G_TABLE
+
+
+def _jacobian_multiply_g(scalar: int) -> JacobianPoint:
+    """``scalar * G`` via the fixed-window table (no doublings)."""
+    scalar %= N
+    table = _generator_table()
+    result = _JACOBIAN_INFINITY
+    window = 0
+    while scalar:
+        digit = scalar & ((1 << _WINDOW_BITS) - 1)
+        if digit:
+            result = _jacobian_add(result, table[window][digit])
+        scalar >>= _WINDOW_BITS
+        window += 1
+    return result
+
+
 def point_multiply(scalar: int, point: AffinePoint = (GX, GY)) -> AffinePoint:
     """Scalar multiplication ``scalar * point`` (defaults to the generator)."""
+    if point == (GX, GY):
+        return _from_jacobian(_jacobian_multiply_g(scalar))
     return _from_jacobian(_jacobian_multiply(_to_jacobian(point), scalar))
 
 
@@ -153,8 +197,14 @@ def _bits_to_int(data: bytes) -> int:
     return value
 
 
-def _rfc6979_nonce(private_key: int, digest: bytes) -> int:
-    """Deterministic nonce per RFC 6979 with HMAC-SHA256."""
+def _rfc6979_nonces(private_key: int, digest: bytes) -> Iterator[int]:
+    """Deterministic nonce candidates per RFC 6979 with HMAC-SHA256.
+
+    Yields the §3.2 candidate sequence.  §3.2h: every rejection — whether
+    the candidate is out of ``[1, N)`` *or* produced an unusable signature
+    (r == 0 / s == 0) — advances K and V through the same HMAC update
+    before the next candidate is generated.
+    """
     holen = 32
     x = private_key.to_bytes(32, "big")
     h1 = _bits_to_int(digest) % N
@@ -169,9 +219,14 @@ def _rfc6979_nonce(private_key: int, digest: bytes) -> int:
         v = hmac.new(k, v, hashlib.sha256).digest()
         candidate = _bits_to_int(v)
         if 1 <= candidate < N:
-            return candidate
+            yield candidate
         k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
         v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+def _rfc6979_nonce(private_key: int, digest: bytes) -> int:
+    """First RFC 6979 nonce candidate (retries use :func:`_rfc6979_nonces`)."""
+    return next(_rfc6979_nonces(private_key, digest))
 
 
 def sign(private_key: int, digest: bytes) -> Signature:
@@ -184,23 +239,24 @@ def sign(private_key: int, digest: bytes) -> Signature:
         raise InvalidKey("private key out of range")
     if len(digest) != 32:
         raise InvalidSignature(f"digest must be 32 bytes, got {len(digest)}")
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("crypto.sign")
     z = _bits_to_int(digest)
-    k = _rfc6979_nonce(private_key, digest)
-    while True:
+    for k in _rfc6979_nonces(private_key, digest):
         point = point_multiply(k)
         assert point is not None
         r = point[0] % N
         if r == 0:
-            k = (k + 1) % N or 1
-            continue
+            continue  # §3.2h: next candidate from the updated K/V chain
         k_inv = pow(k, N - 2, N)
         s = (k_inv * (z + r * private_key)) % N
         if s == 0:
-            k = (k + 1) % N or 1
             continue
         if s > N // 2:  # low-s normalisation (BIP 62)
             s = N - s
         return Signature(r, s)
+    raise InvalidSignature("nonce generation exhausted")  # pragma: no cover
 
 
 def verify(public_key: Tuple[int, int], digest: bytes, signature: Signature) -> bool:
@@ -214,8 +270,17 @@ def verify(public_key: Tuple[int, int], digest: bytes, signature: Signature) -> 
         raise InvalidKey("public key is not on secp256k1")
     if len(digest) != 32:
         return False
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("crypto.verify")
     r, s = signature.r, signature.s
     if not (1 <= r < N and 1 <= s < N):
+        return False
+    if s > N // 2:
+        # BIP 62 low-s rule: our signer always emits low-s (see
+        # Signature), so a high-s signature is a malleated duplicate and
+        # must not verify — anything persisted or gossiped would
+        # otherwise admit two encodings of the same authorisation.
         return False
     z = _bits_to_int(digest)
     s_inv = pow(s, N - 2, N)
@@ -223,7 +288,7 @@ def verify(public_key: Tuple[int, int], digest: bytes, signature: Signature) -> 
     u2 = (r * s_inv) % N
     point = _from_jacobian(
         _jacobian_add(
-            _jacobian_multiply(_to_jacobian((GX, GY)), u1),
+            _jacobian_multiply_g(u1),
             _jacobian_multiply(_to_jacobian(public_key), u2),
         )
     )

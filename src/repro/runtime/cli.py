@@ -76,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--state-dir", default=None,
                            help="directory for sealed state; enables "
                                 "crash recovery across restarts")
+    serve_cmd.add_argument("--workers", type=int, default=0,
+                           help="shard channels across N worker processes "
+                                "(0 = single-process daemon); the --fund "
+                                "allocation must list NAME-w0..N-1")
     serve_cmd.add_argument("--trace", action="store_true",
                            help="enable causal tracing (also: REPRO_TRACE=1); "
                                 "spans are served via 'trace_dump'")
@@ -151,12 +155,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         logging.basicConfig(level=arguments.log_level.upper())
         allocations = _parse_fund(arguments.fund)
         try:
-            asyncio.run(serve(
-                arguments.name, arguments.host, arguments.port,
-                arguments.control_port, allocations,
-                state_dir=arguments.state_dir,
-                trace=True if arguments.trace else None,
-            ))
+            if arguments.workers > 0:
+                from repro.runtime.workers import serve_sharded
+                asyncio.run(serve_sharded(
+                    arguments.name, arguments.host, arguments.control_port,
+                    allocations, workers=arguments.workers,
+                    state_dir=arguments.state_dir,
+                    trace=bool(arguments.trace),
+                ))
+            else:
+                asyncio.run(serve(
+                    arguments.name, arguments.host, arguments.port,
+                    arguments.control_port, allocations,
+                    state_dir=arguments.state_dir,
+                    trace=True if arguments.trace else None,
+                ))
         except KeyboardInterrupt:
             pass
         return 0

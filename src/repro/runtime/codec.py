@@ -459,6 +459,7 @@ def _register_schema() -> None:
     register_dataclass(39, m.StateUpdate)
     register_dataclass(40, m.StateUpdateAck)
     register_dataclass(41, m.Freeze)
+    register_dataclass(42, m.ChannelCheckpoint)
 
 
 _register_schema()

@@ -187,6 +187,13 @@ class NodeDaemon:
         self.batcher: Optional[PaymentBatcher] = None
         self.batch_window_s = 0.0
 
+        # Session-MAC fast path (the ``fastpath`` control verb): the T-ms
+        # half of the checkpoint policy runs here as an asyncio timer —
+        # enclaves have no clock of their own, so the host triggers the
+        # periodic ``checkpoint_all`` ecall and ships what it emits.
+        self.checkpoint_ms = 0
+        self._checkpoint_task: Optional[asyncio.Task] = None
+
         # Stable storage (paper §6.2), gated on state_dir.  Restore runs
         # before the gossip subscriptions below: chain replay is local
         # history, not news to rebroadcast.
@@ -291,6 +298,8 @@ class NodeDaemon:
     async def stop(self) -> None:
         if self._pump_task is not None:
             self._pump_task.cancel()
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
         await self.net.stop()
         if self._control_server is not None:
             self._control_server.close()
@@ -530,16 +539,48 @@ class NodeDaemon:
             return 0
         return self.batcher.flush()
 
+    async def _drain_outbox(self) -> None:
+        """Ship whatever the enclave queued, with backpressure."""
+        for outbound in self.node.enclave.take_outbox():
+            await self.net.send_wait(self.node.name, outbound.destination,
+                                     outbound.payload)
+
+    async def _checkpoint_loop(self) -> None:
+        """The T-ms half of the fast path's K-payments/T-ms checkpoint
+        policy: periodically flush deferred state signatures so a quiet
+        channel is never more than ``checkpoint_ms`` behind its last
+        signed commitment."""
+        from repro.errors import EnclaveCrashed, EnclaveFrozen
+        while self.checkpoint_ms > 0:
+            await asyncio.sleep(self.checkpoint_ms / 1000.0)
+            try:
+                flushed = self.node.enclave.ecall("checkpoint_all")
+            except (EnclaveCrashed, EnclaveFrozen):
+                return  # fault injection / freeze; timer has nothing to do
+            if flushed:
+                await self._drain_outbox()
+
+    def _set_checkpoint_timer(self, checkpoint_ms: int) -> None:
+        self.checkpoint_ms = checkpoint_ms
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            self._checkpoint_task = None
+        if checkpoint_ms > 0:
+            self._checkpoint_task = asyncio.get_event_loop().create_task(
+                self._checkpoint_loop(), name=f"checkpoint:{self.name}")
+
     # ------------------------------------------------------------------
     # Control commands.  Each handler is declared in the registry; the
     # verbs mirror TeechainNode's API (see README's command table).
     # ------------------------------------------------------------------
 
-    @COMMANDS.command("ping", doc="Liveness check; returns name and clock.")
+    @COMMANDS.command("ping", doc="Liveness check; returns name and clock.",
+                      idempotent=True)
     async def _cmd_ping(self) -> Dict[str, Any]:
         return {"name": self.name, "now": self.scheduler.now}
 
-    @COMMANDS.command("help", doc="List every command with its signature.")
+    @COMMANDS.command("help", doc="List every command with its signature.",
+                      idempotent=True)
     async def _cmd_help(self) -> Dict[str, Any]:
         return {"commands": COMMANDS.help_table()}
 
@@ -548,7 +589,8 @@ class NodeDaemon:
         Param("peer", doc="peer daemon name"),
         Param("host", doc="peer host"),
         Param("port", int, doc="peer port"),
-        doc="Dial a peer and complete the attested handshake.")
+        doc="Dial a peer and complete the attested handshake.",
+        idempotent=True)
     async def connect(self, peer: str, host: str, port: int,
                       timeout: float = 10.0) -> Dict[str, Any]:
         self.net.add_peer(peer, host, port)
@@ -663,7 +705,8 @@ class NodeDaemon:
     @COMMANDS.command(
         "batch-window",
         Param("window_ms", int, doc="batching window in ms; 0 disables"),
-        doc="Configure §7.2 client-side payment batching.")
+        doc="Configure §7.2 client-side payment batching.",
+        idempotent=True)
     async def _cmd_batch_window(self, window_ms: int) -> Dict[str, Any]:
         if window_ms < 0:
             raise CommandError(f"window_ms must be >= 0, got {window_ms}",
@@ -684,6 +727,30 @@ class NodeDaemon:
                 self.batcher.window = self.batch_window_s
         return {"window_ms": window_ms, "enabled": window_ms > 0,
                 "flushed": flushed}
+
+    @COMMANDS.command(
+        "fastpath",
+        Param("enabled", int, doc="1 enables the MAC fast path, 0 disables"),
+        Param("checkpoint_every", int, required=False,
+              doc="signed checkpoint every K fast-path payments"),
+        Param("checkpoint_ms", int, required=False, default=0,
+              doc="also flush checkpoints every T ms (0 = payments only)"),
+        doc="Configure the session-MAC payment fast path.",
+        idempotent=True)
+    async def _cmd_fastpath(self, enabled: int,
+                            checkpoint_every: Optional[int] = None,
+                            checkpoint_ms: int = 0) -> Dict[str, Any]:
+        if checkpoint_ms < 0:
+            raise CommandError(
+                f"checkpoint_ms must be >= 0, got {checkpoint_ms}",
+                code="bad_request")
+        result = self.node.enclave.ecall("set_fastpath", bool(enabled),
+                                         checkpoint_every)
+        # Disabling flushes deferred checkpoints inside the enclave; they
+        # are in the outbox now and must reach the peer.
+        await self._drain_outbox()
+        self._set_checkpoint_timer(checkpoint_ms if enabled else 0)
+        return {**result, "checkpoint_ms": self.checkpoint_ms}
 
     @COMMANDS.command(
         "pay-multihop",
@@ -774,7 +841,8 @@ class NodeDaemon:
     @COMMANDS.command(
         "echo",
         Param("peer"),
-        doc="Round-trip a control frame to a peer; returns the RTT.")
+        doc="Round-trip a control frame to a peer; returns the RTT.",
+        idempotent=True)
     async def _cmd_echo(self, peer: str) -> Dict[str, Any]:
         rtt = await self._echo_round_trip(peer)
         return {"peer": peer, "rtt_s": rtt}
@@ -821,7 +889,8 @@ class NodeDaemon:
         self.network.mine()
         return {"height": self.network.chain.height}
 
-    @COMMANDS.command("balance", doc="On-chain balance of this node.")
+    @COMMANDS.command("balance", doc="On-chain balance of this node.",
+                      idempotent=True)
     async def _cmd_balance(self) -> Dict[str, Any]:
         return {"name": self.name,
                 "onchain": self.node.onchain_balance()}
@@ -829,7 +898,8 @@ class NodeDaemon:
     @COMMANDS.command(
         "channel",
         Param("channel_id"),
-        doc="Snapshot one channel's balances and deposits.")
+        doc="Snapshot one channel's balances and deposits.",
+        idempotent=True)
     async def _cmd_channel(self, channel_id: str) -> Dict[str, Any]:
         snapshot = self.node.program.channel_snapshot(channel_id)
         return {
@@ -843,9 +913,11 @@ class NodeDaemon:
                                 for o in snapshot["remote_deposits"]],
         }
 
-    @COMMANDS.command("stats", doc="Transport, chain, and uptime stats.")
+    @COMMANDS.command("stats", doc="Transport, chain, and uptime stats.",
+                      idempotent=True)
     async def _cmd_stats(self) -> Dict[str, Any]:
         batcher = self.batcher
+        program = self.node.program
         return {
             "name": self.name,
             "transport": self.net.stats(),
@@ -860,18 +932,31 @@ class NodeDaemon:
                 "batches_flushed": batcher.batches_flushed if batcher else 0,
                 "pending": batcher.pending_payments() if batcher else 0,
             },
+            "fastpath": {
+                "enabled": program.fastpath_enabled,
+                "checkpoint_every": program.checkpoint_every,
+                "checkpoint_ms": self.checkpoint_ms,
+                "unsigned_pending": sum(
+                    program._fastpath_unsigned.values()),
+                "checkpoints_sent": sum(
+                    program._checkpoint_index_out.values()),
+                "checkpoints_accepted": sum(
+                    program._checkpoint_index_in.values()),
+            },
             "uptime_s": self.scheduler.now,
             "restored": self.restored,
         }
 
-    @COMMANDS.command("metrics", doc="Snapshot of the obs metrics registry.")
+    @COMMANDS.command("metrics", doc="Snapshot of the obs metrics registry.",
+                      idempotent=True)
     async def _cmd_metrics(self) -> Dict[str, Any]:
         return {"metrics": self.metrics.snapshot()}
 
     @COMMANDS.command(
         "trace_dump",
         doc="This daemon's span ring plus the clock metadata trace "
-            "merging needs (local/wall clocks, handshake skew offsets).")
+            "merging needs (local/wall clocks, handshake skew offsets).",
+        idempotent=True)
     async def _cmd_trace_dump(self) -> Dict[str, Any]:
         return self.collector.trace_dump(peer_offsets=self.net.peer_offsets)
 
@@ -884,14 +969,15 @@ class NodeDaemon:
 
     @COMMANDS.command(
         "metrics_prom",
-        doc="Metrics in Prometheus text exposition format.")
+        doc="Metrics in Prometheus text exposition format.",
+        idempotent=True)
     async def _cmd_metrics_prom(self) -> Dict[str, Any]:
         return {"text": prometheus_text(self.metrics.snapshot())}
 
     @COMMANDS.command(
         "health",
         doc="Cheap liveness summary: uptime, trace ring pressure, "
-            "peer/channel counts.")
+            "peer/channel counts.", idempotent=True)
     async def _cmd_health(self) -> Dict[str, Any]:
         return self.collector.health(
             peers=len(self._peer_keys),
@@ -929,7 +1015,8 @@ class NodeDaemon:
             self.metrics.inc(f"faults.injected[{action}]")
         return {"action": action, "peer": peer}
 
-    @COMMANDS.command("shutdown", doc="Stop the daemon gracefully.")
+    @COMMANDS.command("shutdown", doc="Stop the daemon gracefully.",
+                      idempotent=True)
     async def _cmd_shutdown(self) -> Dict[str, Any]:
         self._shutdown.set()
         return {"stopping": True}

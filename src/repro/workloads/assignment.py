@@ -8,12 +8,69 @@ the addresses in a skewed fashion ... 50% of addresses to tier 1 nodes,
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 import random
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.errors import WorkloadError
 
 DEFAULT_TIER_SHARES = {1: 0.50, 2: 0.35, 3: 0.15}
+
+
+class HashRing:
+    """Consistent-hash ring: stable key→node assignment.
+
+    The daemon worker pool shards channels across OS processes with this
+    ring: every router process computes ``owner(peer)`` independently and
+    agrees, because the mapping depends only on the node names — no
+    coordination, no shared state.  Virtual nodes (``replicas`` points
+    per node) smooth the distribution; removing a node reassigns only the
+    keys it owned, which is the property a plain ``hash(key) % n`` lacks.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise WorkloadError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []  # sorted (hash, node)
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(value.encode()).digest()[:8], "big")
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = (self._hash(f"{node}#{replica}"), node)
+            bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise WorkloadError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        self._points = [point for point in self._points
+                        if point[1] != node]
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key``: first ring point clockwise of its
+        hash (wrapping past the top back to the first point)."""
+        if not self._points:
+            raise WorkloadError("hash ring is empty")
+        index = bisect.bisect_right(self._points, (self._hash(key), ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
 
 
 def assign_addresses_uniform(addresses: Sequence[str],

@@ -1,0 +1,174 @@
+"""Retry safety on the control plane.
+
+``call_with_retry`` may only replay a command after a transport failure
+when doing so cannot double-apply it: either the command is declared
+idempotent in the daemon registry, or the request provably never
+reached the wire (``ControlError.request_sent`` is False).  A
+non-idempotent verb (``pay``, ``settle``) that failed *after* the
+request was sent — applied server-side, reply lost — must surface
+``retry_unsafe`` instead of silently paying twice.
+
+The fault injection here is a real TCP server that applies each request
+it reads and then drops the connection without replying — the exact
+mid-response failure that used to trigger a blind replay.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.runtime.control import ControlClient, ControlError, \
+    _command_is_idempotent, call_with_retry
+
+
+class DroppyControlServer:
+    """A control server that applies requests but drops the connection
+    before replying for the first ``failures`` requests."""
+
+    def __init__(self, failures: int) -> None:
+        self.failures = failures
+        self.applied = []  # every request the server *executed*
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._listener.settimeout(0.2)
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with connection:
+                reader = connection.makefile("rb")
+                while True:
+                    line = reader.readline()
+                    if not line:
+                        break
+                    request = json.loads(line)
+                    self.applied.append(request["cmd"])
+                    if len(self.applied) <= self.failures:
+                        # Applied, but the reply is lost: close mid-response.
+                        break
+                    connection.sendall(
+                        json.dumps({"ok": True, "echo": request}).encode()
+                        + b"\n")
+
+    def close(self) -> None:
+        self._stop.set()
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+
+@pytest.fixture
+def droppy_server():
+    server = DroppyControlServer(failures=1)
+    yield server
+    server.close()
+
+
+class TestRetrySafety:
+    def test_idempotent_verb_is_retried(self, droppy_server):
+        client = ControlClient("127.0.0.1", droppy_server.port, timeout=5)
+        try:
+            response = call_with_retry(client, "ping", backoff=0.01)
+        finally:
+            client.close()
+        assert response["echo"]["cmd"] == "ping"
+        # Applied twice — harmless for an idempotent verb, and exactly
+        # why non-idempotent ones must not take this path.
+        assert droppy_server.applied == ["ping", "ping"]
+
+    def test_non_idempotent_verb_refuses_replay(self, droppy_server):
+        client = ControlClient("127.0.0.1", droppy_server.port, timeout=5)
+        try:
+            with pytest.raises(ControlError) as excinfo:
+                call_with_retry(client, "pay", backoff=0.01,
+                                channel_id="chan-1", amount=100)
+        finally:
+            client.close()
+        assert excinfo.value.code == "retry_unsafe"
+        # The payment was applied exactly once; the retry helper did not
+        # replay it after the ambiguous failure.
+        assert droppy_server.applied == ["pay"]
+
+    def test_explicit_override_beats_registry(self, droppy_server):
+        """A caller who knows its ``pay`` is deduplicated server-side can
+        opt in to replay explicitly."""
+        client = ControlClient("127.0.0.1", droppy_server.port, timeout=5)
+        try:
+            response = call_with_retry(client, "pay", idempotent=True,
+                                       backoff=0.01, channel_id="c",
+                                       amount=1)
+        finally:
+            client.close()
+        assert response["echo"]["cmd"] == "pay"
+        assert droppy_server.applied == ["pay", "pay"]
+
+
+class _UnsentFailureClient:
+    """Duck-typed client whose first call fails before the request ever
+    reaches the transport (``request_sent=False``)."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.reconnects = 0
+
+    def call(self, cmd, **kwargs):
+        self.calls += 1
+        if self.calls == 1:
+            raise ControlError("dial failed", code="connection_closed",
+                               request_sent=False)
+        return {"cmd": cmd}
+
+    def reconnect(self) -> None:
+        self.reconnects += 1
+
+
+class TestRequestSentFlag:
+    def test_unsent_request_is_safe_to_retry_even_if_not_idempotent(self):
+        client = _UnsentFailureClient()
+        response = call_with_retry(client, "pay", backoff=0.01,
+                                   channel_id="c", amount=1)
+        assert response["cmd"] == "pay"
+        assert client.calls == 2
+        assert client.reconnects == 1
+
+    def test_command_error_is_never_retried(self):
+        class Rejecting:
+            calls = 0
+
+            def call(self, cmd, **kwargs):
+                self.calls += 1
+                raise ControlError("no such channel",
+                                   code="no_such_channel")
+
+            def reconnect(self):
+                pass
+
+        client = Rejecting()
+        with pytest.raises(ControlError) as excinfo:
+            call_with_retry(client, "pay", channel_id="c", amount=1)
+        assert excinfo.value.code == "no_such_channel"
+        assert client.calls == 1
+
+
+class TestRegistryFlags:
+    def test_read_only_verbs_are_idempotent(self):
+        for cmd in ("ping", "balance", "channel", "stats", "metrics",
+                    "health", "connect", "fastpath", "batch-window"):
+            assert _command_is_idempotent(cmd), cmd
+
+    def test_value_moving_verbs_are_not(self):
+        for cmd in ("pay", "settle", "deposit", "pay-multihop",
+                    "open-channel", "approve-associate", "mine"):
+            assert not _command_is_idempotent(cmd), cmd
+
+    def test_unknown_command_defaults_to_non_idempotent(self):
+        assert not _command_is_idempotent("no-such-verb")

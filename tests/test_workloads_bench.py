@@ -24,7 +24,7 @@ from repro.workloads import (
     generate_raw_transactions,
     generate_trace,
 )
-from repro.workloads.assignment import assign_addresses_balanced
+from repro.workloads.assignment import HashRing, assign_addresses_balanced
 from repro.workloads.bitcoin_trace import DEFAULT_VALUE_THRESHOLD_SATOSHI
 
 
@@ -99,6 +99,56 @@ class TestAssignment:
         for address, machine in assignment.items():
             load[machine] += weights[address]
         assert abs(load["m1"] - load["m2"]) <= 100
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        """Two independently built rings agree on every key — the
+        property that lets every router process route without
+        coordination."""
+        keys = [f"peer{i}" for i in range(200)]
+        first = HashRing(["w0", "w1", "w2", "w3"])
+        second = HashRing(["w3", "w1", "w0", "w2"])  # insertion order differs
+        assert [first.owner(k) for k in keys] == [second.owner(k) for k in keys]
+
+    def test_all_nodes_receive_keys(self):
+        ring = HashRing([f"w{i}" for i in range(4)])
+        owners = {ring.owner(f"peer{i}") for i in range(500)}
+        assert owners == {"w0", "w1", "w2", "w3"}
+
+    def test_distribution_is_roughly_even(self):
+        ring = HashRing([f"w{i}" for i in range(4)], replicas=128)
+        counts = {f"w{i}": 0 for i in range(4)}
+        for i in range(4_000):
+            counts[ring.owner(f"peer{i}")] += 1
+        # Consistent hashing is only statistically even; with 128 virtual
+        # nodes each worker should land within a factor of ~2 of fair.
+        assert min(counts.values()) > 1_000 / 2
+        assert max(counts.values()) < 1_000 * 2
+
+    def test_removal_only_moves_removed_nodes_keys(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        keys = [f"peer{i}" for i in range(300)]
+        before = {key: ring.owner(key) for key in keys}
+        ring.remove("w2")
+        for key in keys:
+            if before[key] != "w2":
+                assert ring.owner(key) == before[key]
+            else:
+                assert ring.owner(key) != "w2"
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(WorkloadError):
+            HashRing([]).owner("anything")
+
+    def test_remove_unknown_node_rejected(self):
+        with pytest.raises(WorkloadError):
+            HashRing(["w0"]).remove("w9")
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(["w0", "w1"])
+        ring.add("w0")
+        assert ring.nodes == ["w0", "w1"]
 
 
 class TestTimingModels:
