@@ -1,0 +1,145 @@
+"""Live account hub: thousands of lightweight clients on one enclave.
+
+Teechain's evaluation gives every participant a full enclave; the
+``repro.hub`` tier (RouTEE's model) multiplexes client *accounts*
+inside one hub enclave instead, so the per-user cost is a keypair, not
+a TEE.  This benchmark measures that claim's mechanics over real
+daemon processes: a hub holding two real channels serves 1,000 and
+then 10,000 simulated accounts, every request ECDSA-signed by its
+client and verified inside the enclave.
+
+Measured per scale: account-opening throughput (batched signed
+deposits via ``account-pay-many``) and account-pay throughput with
+p50/p95 latency (closed-loop ``repro.load`` streams).  Asserted per
+scale: zero rejected requests, and the ledger's *exact* conservation
+invariant against the hub's channel holdings —
+``sum(balances) + fee_bucket == deposited − withdrawn`` and
+``liabilities ≤ backing`` with untouched channel backing.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.load import AccountFleet, run_closed_loop, transport_drops
+from repro.obs import MetricsRegistry
+from repro.runtime.launch import HOST, launch_network
+
+from conftest import report
+from repro.bench.harness import ExperimentResult
+
+GENESIS = 400_000
+DEPOSIT = 100_000        # per channel; backing = 2 × DEPOSIT
+HUB_FEE = 1
+PAY_AMOUNT = 2
+STREAMS = 4
+SCALES = (1_000, 10_000)
+PAYMENTS = {1_000: 150, 10_000: 100}   # per stream
+BATCH = 512
+
+
+def _poll(predicate, timeout=60.0, interval=0.05, what="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            pytest.fail(f"timed out waiting for {what}")
+        time.sleep(interval)
+
+
+@pytest.mark.live(timeout=600)
+def test_live_hub_accounts():
+    handles, _ = launch_network(
+        {"hub": GENESIS, "alice": GENESIS, "bob": GENESIS})
+    hub = handles["hub"].control
+    results, extra = [], {}
+    try:
+        channels = []
+        for peer in ("alice", "bob"):
+            cid = hub.call("open-channel", peer=peer)["channel_id"]
+            deposit = hub.call("deposit", value=DEPOSIT)
+            hub.call("approve-associate", peer=peer, channel_id=cid,
+                     txid=deposit["txid"])
+            channels.append(cid)
+        _poll(lambda: all(
+            hub.call("channel", channel_id=cid)["my_balance"] == DEPOSIT
+            for cid in channels), what="hub deposits to associate")
+        backing = len(channels) * DEPOSIT
+        hub.call("hub-fee", fee_per_pay=HUB_FEE)
+
+        registry = MetricsRegistry()
+        opened_total = 0
+        for clients in SCALES:
+            label = f"{clients} clients"
+            # Accounts accumulate across scales (prefix-distinct seeds)
+            # so the 10k phase opens 10k *new* accounts on top.
+            fleet = AccountFleet(clients, seed_prefix=f"bench-{clients}")
+            per_account = (backing - opened_total) // (2 * clients)
+            assert per_account > 0
+
+            started = time.perf_counter()
+            for batch in fleet.open_batches(per_account,
+                                            batch_size=BATCH):
+                response = hub.call("account-pay-many", requests=batch)
+                assert response["rejected"] == 0
+            open_elapsed = time.perf_counter() - started
+            opened_total += clients * per_account
+            results.append(ExperimentResult(
+                "live hub accounts", label, "open throughput",
+                clients / open_elapsed, None, "accounts/s"))
+
+            payments = PAYMENTS[clients]
+            load = asyncio.run(run_closed_loop(
+                fleet.pay_targets(HOST, handles["hub"].control_port,
+                                  PAY_AMOUNT, streams=STREAMS,
+                                  label_prefix=label),
+                payments, concurrency=4, registry=registry))
+            assert load.errors == 0, load.rejected
+            assert load.completed == STREAMS * payments
+
+            stats = hub.call("account-stats")["hub"]
+            # Exact ledger-vs-channel conservation at every scale.
+            assert stats["conserved"], stats
+            assert stats["solvent"], stats
+            assert stats["deposited_total"] == opened_total
+            assert stats["withdrawn_total"] == 0
+            assert (stats["total_balance"] + stats["fee_bucket"]
+                    == opened_total)
+            assert stats["liabilities"] <= stats["backing"]
+            assert stats["backing"] == backing  # channels untouched
+
+            results.append(ExperimentResult(
+                "live hub accounts", label, "pay throughput",
+                load.throughput_tx_s, None, "tx/s"))
+            for row in load.targets:
+                latency = row["latency"]
+                results.append(ExperimentResult(
+                    "live hub accounts", row["target"], "p50",
+                    latency["p50"] * 1000, None, "ms"))
+                results.append(ExperimentResult(
+                    "live hub accounts", row["target"], "p95",
+                    latency["p95"] * 1000, None, "ms"))
+            extra[label] = {"load": load.to_dict(), "stats": stats,
+                            "open_s": open_elapsed}
+
+        drops = asyncio.run(transport_drops(
+            [(HOST, handle.control_port) for handle in handles.values()]))
+        counters = hub.call("metrics")["metrics"]["counters"]
+    finally:
+        for handle in handles.values():
+            handle.shutdown()
+
+    assert drops["protocol"] == 0
+    assert counters.get("hub.accounts") == sum(SCALES)
+    assert counters.get("hub.rejected_sigs") is None
+    assert counters.get("hub.rejected_nonces") is None
+
+    report(
+        "Live account hub (one enclave, 1k/10k signed client accounts)",
+        results,
+        sidecar="live_hub_accounts",
+        metrics=registry,
+        extra={**extra, "transport_drops": drops,
+               "hub_counters": {k: v for k, v in counters.items()
+                                if k.startswith("hub.")}},
+    )

@@ -1186,6 +1186,12 @@ def _replication_blob(program: "ChannelProtocol") -> bytes:
         # PoPT recognition sets held per session.
         "multihop_sessions": dict(getattr(program, "multihop_sessions", {})),
     }
+    # Account-hub ledger (repro.hub): balances, nonces, and totals must
+    # survive a crash or the hub could re-accept replayed requests and
+    # lose track of what it owes clients.
+    hub = getattr(program, "hub", None)
+    if hub is not None:
+        state["hub"] = hub.to_state()
     return pickle.dumps(state)
 
 

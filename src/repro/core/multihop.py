@@ -54,6 +54,7 @@ from repro.core.settlement import (
 from repro.core.state import ChannelState, MultihopStage
 from repro.crypto.keys import PublicKey
 from repro.errors import MultihopError, SettlementError
+from repro.hub.ledger import HubAccountsMixin
 from repro.obs import get_metrics, get_tracer
 
 logger = logging.getLogger(__name__)
@@ -861,9 +862,11 @@ class MultihopMixin:
         return super()._lookup_handler(body_type)
 
 
-class TeechainEnclave(MultihopMixin, ChannelProtocol):
+class TeechainEnclave(HubAccountsMixin, MultihopMixin, ChannelProtocol):
     """The complete Teechain enclave program: payment channels
-    (Algorithm 1) plus multi-hop payments (Algorithm 2)."""
+    (Algorithm 1), multi-hop payments (Algorithm 2), and the account
+    hub (``repro.hub``: many lightweight client accounts multiplexed
+    over these channels)."""
 
     PROGRAM_NAME = "teechain"
     PROGRAM_VERSION = 1
@@ -871,3 +874,11 @@ class TeechainEnclave(MultihopMixin, ChannelProtocol):
     FREEZE_ALLOWED = ChannelProtocol.FREEZE_ALLOWED + (
         "eject", "eject_with_popt", "eject_all", "release_dangling_locks",
     )
+
+    READ_ONLY_ECALLS = ChannelProtocol.READ_ONLY_ECALLS | frozenset({
+        "hub_stats",
+    })
+
+    # The account ledger rolls back with the rest of the enclave state
+    # when a replication barrier fails mid-ecall.
+    _ROLLBACK_ATTRS = ChannelProtocol._ROLLBACK_ATTRS + ("hub",)

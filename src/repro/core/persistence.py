@@ -140,3 +140,10 @@ def restore_program_state(program: ChannelProtocol,
     sessions = state.get("multihop_sessions")
     if sessions is not None and hasattr(program, "multihop_sessions"):
         program.multihop_sessions = dict(sessions)
+    # Account-hub ledger, when the program carries one (pre-hub blobs
+    # simply leave a fresh empty ledger in place).
+    hub_state = state.get("hub")
+    if hub_state is not None and hasattr(program, "hub"):
+        from repro.hub.ledger import AccountLedger
+
+        program.hub = AccountLedger.from_state(hub_state)

@@ -133,6 +133,29 @@ class RoutingError(ProtocolError):
     """No route could be found or a route is malformed."""
 
 
+class HubError(ProtocolError):
+    """An account-hub request was rejected by the hub enclave."""
+
+
+class NoSuchAccountError(HubError):
+    """A request names an account the hub ledger has never opened."""
+
+
+class AccountNonceError(HubError):
+    """A request's nonce is not strictly greater than the last accepted
+    nonce for that account — a replay or a reordered duplicate."""
+
+
+class AccountFundsError(HubError):
+    """An account operation exceeds the funds available to it (balance
+    for pays/withdrawals, hub backing for deposits)."""
+
+
+class LedgerTamperError(HubError):
+    """The account ledger's conservation invariant no longer holds —
+    evidence that hub state was mutated outside the request protocol."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was misused (e.g. scheduling into the
     past)."""

@@ -1,0 +1,354 @@
+"""The in-enclave account ledger and its enclave-program mixin.
+
+:class:`AccountLedger` is pure state: client pubkey → balance, the last
+accepted nonce per account, the hub's fee bucket, and running deposit/
+withdrawal totals.  Its conservation invariant —
+
+    sum(account balances) + fee bucket == deposited − withdrawn
+
+— is re-checked inside the enclave before every mutating request, so a
+host that reaches into the (in a real deployment, encrypted) ledger and
+edits a balance is detected on the next operation rather than silently
+paid out.  Solvency — liabilities never exceed the hub's channel and
+free-deposit holdings — is enforced at deposit time, so the enclave
+never owes clients more than the channels/deposits it controls can pay.
+
+:class:`HubAccountsMixin` is mixed into
+:class:`~repro.core.multihop.TeechainEnclave` and adds the ecall
+surface: ``hub_handle_request`` (one signed request), ``hub_handle_batch``
+(many, with per-item results), ``hub_stats`` (read-only), and
+``hub_set_fee``.  Signature and nonce verification happen here, inside
+the enclave — the untrusted host only shuttles encoded bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.messages import SignedMessage
+from repro.crypto.keys import PublicKey
+from repro.errors import (
+    AccountFundsError,
+    AccountNonceError,
+    HubError,
+    LedgerTamperError,
+    MessageAuthenticationError,
+    NoSuchAccountError,
+)
+from repro.hub.messages import (
+    WITHDRAW_ROUTES,
+    AccountDeposit,
+    AccountPay,
+    AccountQuery,
+    AccountWithdraw,
+)
+from repro.obs import get_metrics
+
+
+class AccountLedger:
+    """Account table living inside the hub enclave.
+
+    Keys are the 33-byte compressed client public keys; values are plain
+    integers, so the whole ledger deep-copies cheaply for the ecall
+    rollback guard and pickles into the sealed replication blob.
+    """
+
+    def __init__(self) -> None:
+        self.balances: Dict[bytes, int] = {}
+        # Last *accepted* nonce per account; a request is accepted only
+        # with a strictly greater nonce, and the nonce advances in the
+        # same mutation as the balance change (so a crash/rollback can
+        # never leave a spent nonce reusable).
+        self.nonces: Dict[bytes, int] = {}
+        self.fee_per_pay = 0
+        self.fee_bucket = 0
+        self.deposited_total = 0
+        # External withdrawals only (channel + chain routes); internal
+        # account-to-account moves conserve liabilities.
+        self.withdrawn_total = 0
+        self.pays = 0
+
+    def liabilities(self) -> int:
+        """Everything the hub owes: client balances plus collected fees."""
+        return sum(self.balances.values()) + self.fee_bucket
+
+    def conserved(self) -> bool:
+        return self.liabilities() == self.deposited_total - self.withdrawn_total
+
+    def to_state(self) -> Dict[str, Any]:
+        return {
+            "balances": dict(self.balances),
+            "nonces": dict(self.nonces),
+            "fee_per_pay": self.fee_per_pay,
+            "fee_bucket": self.fee_bucket,
+            "deposited_total": self.deposited_total,
+            "withdrawn_total": self.withdrawn_total,
+            "pays": self.pays,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "AccountLedger":
+        ledger = cls()
+        ledger.balances = dict(state.get("balances", {}))
+        ledger.nonces = dict(state.get("nonces", {}))
+        ledger.fee_per_pay = state.get("fee_per_pay", 0)
+        ledger.fee_bucket = state.get("fee_bucket", 0)
+        ledger.deposited_total = state.get("deposited_total", 0)
+        ledger.withdrawn_total = state.get("withdrawn_total", 0)
+        ledger.pays = state.get("pays", 0)
+        return ledger
+
+
+class HubAccountsMixin:
+    """Account-multiplexing ecalls for a channel-protocol enclave.
+
+    Relies on the :class:`~repro.core.channel_base.ChannelProtocol`
+    surface later in the MRO: ``channels``, ``deposits``, ``pay``,
+    ``_flush_checkpoint``, and ``_replicated``.
+    """
+
+    _HUB_HANDLER_NAMES = {
+        AccountDeposit: "_hub_deposit",
+        AccountPay: "_hub_pay",
+        AccountWithdraw: "_hub_withdraw",
+        AccountQuery: "_hub_query",
+    }
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hub = AccountLedger()
+
+    # ------------------------------------------------------------------
+    # Ecall surface
+    # ------------------------------------------------------------------
+
+    def hub_handle_request(self, signed: SignedMessage) -> Dict[str, Any]:
+        """Verify and apply one signed account request (see module doc)."""
+        return self._hub_apply(signed)
+
+    def hub_handle_batch(self, requests: List[SignedMessage]
+                         ) -> List[Dict[str, Any]]:
+        """Apply many requests in order, independently: one bad request
+        is rejected in place (with its stable error code) without
+        aborting the rest — the batch verb exists to amortise control
+        round-trips, not to add transactional semantics."""
+        from repro.runtime.registry import code_for_exception
+
+        results: List[Dict[str, Any]] = []
+        for signed in requests:
+            try:
+                results.append({"ok": True, **self._hub_apply(signed)})
+            except Exception as exc:  # rejected item, not a crashed batch
+                results.append({"ok": False,
+                                "code": code_for_exception(exc),
+                                "error": str(exc)})
+        return results
+
+    def hub_stats(self) -> Dict[str, Any]:
+        """Read-only ledger summary (conservation + solvency checks)."""
+        liabilities = self.hub.liabilities()
+        backing = self._hub_backing()
+        return {
+            "accounts": len(self.hub.balances),
+            "total_balance": sum(self.hub.balances.values()),
+            "fee_bucket": self.hub.fee_bucket,
+            "fee_per_pay": self.hub.fee_per_pay,
+            "deposited_total": self.hub.deposited_total,
+            "withdrawn_total": self.hub.withdrawn_total,
+            "pays": self.hub.pays,
+            "liabilities": liabilities,
+            "backing": backing,
+            "conserved": self.hub.conserved(),
+            "solvent": liabilities <= backing,
+        }
+
+    def hub_set_fee(self, fee_per_pay: int) -> Dict[str, Any]:
+        if fee_per_pay < 0:
+            raise HubError(f"fee must be >= 0, got {fee_per_pay}")
+        self.hub.fee_per_pay = int(fee_per_pay)
+        self._replicated(f"hub_set_fee:{fee_per_pay}")
+        return {"fee_per_pay": self.hub.fee_per_pay}
+
+    # ------------------------------------------------------------------
+    # Verification and dispatch
+    # ------------------------------------------------------------------
+
+    def _hub_backing(self) -> int:
+        """What the hub can actually pay out: its side of every open
+        channel plus unassociated (free) deposits."""
+        backing = sum(
+            channel.my_balance for channel in self.channels.values()
+            if channel.is_open and not channel.terminated
+        )
+        backing += sum(record.value for record in self.deposits.values()
+                       if record.is_free)
+        return backing
+
+    def _hub_check_conserved(self) -> None:
+        if not self.hub.conserved():
+            get_metrics().inc("hub.rejected_tamper")
+            raise LedgerTamperError(
+                f"ledger conservation violated: liabilities "
+                f"{self.hub.liabilities()} != deposited "
+                f"{self.hub.deposited_total} - withdrawn "
+                f"{self.hub.withdrawn_total} — hub state was modified "
+                f"outside the request protocol"
+            )
+
+    def _hub_apply(self, signed: SignedMessage) -> Dict[str, Any]:
+        if not isinstance(signed, SignedMessage):
+            raise HubError("account requests must arrive as SignedMessage")
+        body = signed.body
+        handler = self._HUB_HANDLER_NAMES.get(type(body))
+        if handler is None:
+            raise HubError(
+                f"{type(body).__name__} is not an account request")
+        account = body.account
+        if not isinstance(account, PublicKey):
+            raise HubError("request carries no account public key")
+        try:
+            # The client key inside the request must also be the signer:
+            # the host cannot splice a victim's account onto its own
+            # signature, and a flipped bit anywhere breaks the ECDSA
+            # check over the canonical body bytes.
+            signed.verify(expected_sender=account)
+        except MessageAuthenticationError:
+            get_metrics().inc("hub.rejected_sigs")
+            raise
+        key = account.to_bytes()
+        if not isinstance(body, AccountQuery):
+            self._hub_check_conserved()
+            last = self.hub.nonces.get(key, 0)
+            if body.nonce <= last:
+                get_metrics().inc("hub.rejected_nonces")
+                raise AccountNonceError(
+                    f"nonce {body.nonce} <= last accepted {last} for "
+                    f"account {key.hex()[:12]}… (replay?)")
+        return getattr(self, handler)(key, body)
+
+    def _hub_commit(self, key: bytes, nonce: int, description: str) -> None:
+        """Advance the account nonce and run the replication/persistence
+        barrier — one atomic step with the handler's balance mutation
+        (the ecall rollback guard snapshots ``hub`` wholesale)."""
+        self.hub.nonces[key] = nonce
+        self._replicated(description)
+
+    # ------------------------------------------------------------------
+    # Request handlers (called with signature + nonce already verified)
+    # ------------------------------------------------------------------
+
+    def _hub_deposit(self, key: bytes, body: AccountDeposit) -> Dict[str, Any]:
+        if body.amount < 0:
+            raise HubError(f"deposit amount must be >= 0, got {body.amount}")
+        backing = self._hub_backing()
+        if self.hub.liabilities() + body.amount > backing:
+            get_metrics().inc("hub.rejected_funds")
+            raise AccountFundsError(
+                f"deposit of {body.amount} would raise hub liabilities to "
+                f"{self.hub.liabilities() + body.amount}, above its "
+                f"channel/deposit backing of {backing}")
+        created = key not in self.hub.balances
+        if created:
+            self.hub.balances[key] = 0
+            get_metrics().inc("hub.accounts")
+        self.hub.balances[key] += body.amount
+        self.hub.deposited_total += body.amount
+        self._hub_commit(key, body.nonce,
+                         f"account_deposit:{key.hex()[:12]}:{body.amount}")
+        return {"account": key.hex(), "created": created,
+                "balance": self.hub.balances[key], "nonce": body.nonce}
+
+    def _hub_pay(self, key: bytes, body: AccountPay) -> Dict[str, Any]:
+        if body.amount <= 0:
+            raise HubError(f"amount must be positive, got {body.amount}")
+        if not isinstance(body.recipient, PublicKey):
+            raise HubError("pay request carries no recipient public key")
+        balance = self.hub.balances.get(key)
+        if balance is None:
+            raise NoSuchAccountError(
+                f"no account {key.hex()[:12]}… at this hub")
+        recipient = body.recipient.to_bytes()
+        if recipient not in self.hub.balances:
+            raise NoSuchAccountError(
+                f"no recipient account {recipient.hex()[:12]}… at this hub")
+        fee = self.hub.fee_per_pay
+        if fee and body.amount <= fee:
+            raise HubError(
+                f"amount {body.amount} does not exceed the hub fee {fee}")
+        if balance < body.amount:
+            get_metrics().inc("hub.rejected_funds")
+            raise AccountFundsError(
+                f"account {key.hex()[:12]}… holds {balance}, "
+                f"cannot pay {body.amount}")
+        self.hub.balances[key] = balance - body.amount
+        self.hub.balances[recipient] += body.amount - fee
+        self.hub.fee_bucket += fee
+        self.hub.pays += 1
+        get_metrics().inc("hub.account_pays")
+        self._hub_commit(key, body.nonce,
+                         f"account_pay:{key.hex()[:12]}:{body.amount}")
+        return {"account": key.hex(), "recipient": recipient.hex(),
+                "amount": body.amount, "fee": fee,
+                "balance": self.hub.balances[key], "nonce": body.nonce}
+
+    def _hub_withdraw(self, key: bytes,
+                      body: AccountWithdraw) -> Dict[str, Any]:
+        if body.amount <= 0:
+            raise HubError(f"amount must be positive, got {body.amount}")
+        if body.route not in WITHDRAW_ROUTES:
+            raise HubError(
+                f"unknown withdrawal route {body.route!r} "
+                f"(one of: {', '.join(WITHDRAW_ROUTES)})")
+        balance = self.hub.balances.get(key)
+        if balance is None:
+            raise NoSuchAccountError(
+                f"no account {key.hex()[:12]}… at this hub")
+        if balance < body.amount:
+            get_metrics().inc("hub.rejected_funds")
+            raise AccountFundsError(
+                f"account {key.hex()[:12]}… holds {balance}, "
+                f"cannot withdraw {body.amount}")
+        result: Dict[str, Any] = {"account": key.hex(), "route": body.route,
+                                  "amount": body.amount, "nonce": body.nonce,
+                                  "destination": body.destination}
+        if body.route == "account":
+            try:
+                destination = bytes.fromhex(body.destination)
+            except ValueError:
+                raise HubError("account-route destination must be the "
+                               "recipient public key, hex-encoded") from None
+            if destination not in self.hub.balances:
+                raise NoSuchAccountError(
+                    f"no account {destination.hex()[:12]}… at this hub")
+            self.hub.balances[key] = balance - body.amount
+            self.hub.balances[destination] += body.amount
+        elif body.route == "channel":
+            # Existing channel machinery does the heavy lifting: pay()
+            # validates the channel (open, idle, sufficient hub balance)
+            # and raises before any ledger mutation; the forced
+            # checkpoint flush pins the withdrawal to a fresh signed
+            # state per the fast-path rules, like every other external
+            # fund move.
+            self.pay(body.destination, body.amount)
+            self._flush_checkpoint(body.destination)
+            self.hub.balances[key] = balance - body.amount
+            self.hub.withdrawn_total += body.amount
+        else:  # chain
+            if not body.destination:
+                raise HubError("chain withdrawal needs a destination address")
+            # The enclave authorises; the host executes the wallet
+            # transfer (observable on the replicated chain, so a client
+            # can audit that the payout actually happened).
+            self.hub.balances[key] = balance - body.amount
+            self.hub.withdrawn_total += body.amount
+            result["address"] = body.destination
+        result["balance"] = self.hub.balances[key]
+        self._hub_commit(key, body.nonce,
+                         f"account_withdraw:{body.route}:{body.amount}")
+        return result
+
+    def _hub_query(self, key: bytes, body: AccountQuery) -> Dict[str, Any]:
+        balance = self.hub.balances.get(key)
+        return {"account": key.hex(), "exists": balance is not None,
+                "balance": 0 if balance is None else balance,
+                "nonce": self.hub.nonces.get(key, 0)}

@@ -30,6 +30,7 @@ self-contained ``smoke`` mode used by CI (spawn a loopback pair, run a
 closed-loop burst, verify conservation and zero protocol-plane drops).
 """
 
+from repro.load.accounts import AccountFleet
 from repro.load.generators import (
     LoadReport,
     LoadTarget,
@@ -40,6 +41,7 @@ from repro.load.generators import (
 )
 
 __all__ = [
+    "AccountFleet",
     "LoadReport",
     "LoadTarget",
     "run_closed_loop",

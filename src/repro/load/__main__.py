@@ -9,11 +9,21 @@ Two subcommands:
     ``--sidecar``, writes ``BENCH_<name>.json``.
 
 ``smoke``
-    Self-contained check used by CI: launch a two-daemon loopback
-    network, run a few hundred closed-loop payments bidirectionally,
-    settle, and verify (a) zero protocol-plane transport drops,
-    (b) zero payment errors, and (c) exact on-chain conservation.
-    Writes ``BENCH_load.json`` and exits nonzero on any violation.
+    Self-contained check used by CI.  ``--mode channel`` (default):
+    launch a two-daemon loopback network, run a few hundred
+    closed-loop payments bidirectionally, settle, and verify (a) zero
+    protocol-plane transport drops, (b) zero payment errors, and
+    (c) exact on-chain conservation.  Writes ``BENCH_load.json``.
+
+    ``--mode account``: launch a hub plus two channel peers, open
+    ``--accounts`` simulated client accounts inside the hub's enclave,
+    drive closed-loop account pays, inject a forged and a replayed
+    request (both must be rejected with their stable codes), withdraw
+    over a real channel, settle it, and verify the ledger's exact
+    conservation invariant plus zero drops/errors.  Writes
+    ``BENCH_load_hub.json``.
+
+    Both exit nonzero on any violation.
 """
 
 from __future__ import annotations
@@ -27,6 +37,10 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.bench.harness import ExperimentResult, write_sidecar
+from repro.crypto.keys import KeyPair
+from repro.hub.client import sign_request
+from repro.hub.messages import AccountPay
+from repro.load.accounts import AccountFleet
 from repro.load.generators import (
     LoadReport,
     LoadTarget,
@@ -34,6 +48,7 @@ from repro.load.generators import (
     transport_drops,
 )
 from repro.obs import MetricsRegistry
+from repro.runtime.control import ControlError
 from repro.runtime.launch import HOST, launch_network
 
 GENESIS = 200_000
@@ -105,6 +120,12 @@ def _poll(predicate, timeout: float = 30.0, interval: float = 0.05,
 
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
+    if args.mode == "account":
+        return _smoke_account(args)
+    return _smoke_channel(args)
+
+
+def _smoke_channel(args: argparse.Namespace) -> int:
     payments = args.payments
     handles, _ = launch_network({"alice": GENESIS, "bob": GENESIS})
     alice = handles["alice"].control
@@ -202,6 +223,173 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+HUB_FEE = 1
+ACCOUNT_PAY = 2  # must exceed the fee
+
+
+def _smoke_account(args: argparse.Namespace) -> int:
+    """Hub-account smoke: open N accounts in one enclave, drive pays,
+    reject a forged and a replayed request, withdraw over a channel,
+    settle it, and check the ledger's exact conservation invariant."""
+    accounts, payments = args.accounts, args.payments
+    streams = 4
+    handles, _ = launch_network(
+        {"hub": GENESIS, "alice": GENESIS, "bob": GENESIS})
+    hub = handles["hub"].control
+    alice = handles["alice"].control
+    failures: List[str] = []
+    try:
+        channels = {}
+        for peer in ("alice", "bob"):
+            channel_id = hub.call("open-channel",
+                                  peer=peer)["channel_id"]
+            deposit = hub.call("deposit", value=DEPOSIT)
+            hub.call("approve-associate", peer=peer,
+                     channel_id=channel_id, txid=deposit["txid"])
+            channels[peer] = channel_id
+
+        def backed() -> bool:
+            return all(
+                hub.call("channel", channel_id=cid)["my_balance"]
+                == DEPOSIT for cid in channels.values())
+
+        _poll(backed, what="hub deposits to associate on both channels")
+        backing = len(channels) * DEPOSIT
+        per_account = backing // accounts
+        if per_account <= 0:
+            raise SystemExit(f"--accounts {accounts} too large for "
+                             f"backing {backing}")
+
+        hub.call("hub-fee", fee_per_pay=HUB_FEE)
+        fleet = AccountFleet(accounts)
+        for batch in fleet.open_batches(per_account):
+            opened = hub.call("account-pay-many", requests=batch)
+            if opened["accepted"] != len(batch):
+                failures.append(
+                    f"account opening rejected "
+                    f"{opened['rejected']}/{len(batch)} deposits")
+
+        targets = fleet.pay_targets(
+            HOST, handles["hub"].control_port, ACCOUNT_PAY,
+            streams=streams)
+        registry = MetricsRegistry()
+        report = asyncio.run(run_load(
+            targets, mode="closed", payments_per_target=payments,
+            concurrency=args.concurrency, registry=registry))
+
+        # Adversarial injections: a request signed with the wrong key,
+        # then a legitimate request submitted twice.  Both must be
+        # refused with their stable codes and counted by the enclave.
+        attacker = KeyPair.from_seed(b"smoke-attacker")
+        forged = sign_request(
+            AccountPay(fleet.signers[0].account,
+                       fleet.signers[1].account, 1, 10**6),
+            attacker.private)
+        try:
+            hub.call("account-pay", request=forged)
+            failures.append("forged request was accepted")
+        except ControlError as exc:
+            if exc.code != "authentication_failed":
+                failures.append(
+                    f"forged request rejected as {exc.code!r}, "
+                    "expected 'authentication_failed'")
+        replay = fleet.pay_request(0, ACCOUNT_PAY)
+        extra_pays = 0
+        try:
+            hub.call("account-pay", request=replay)
+            extra_pays = 1
+            hub.call("account-pay", request=replay)
+            failures.append("replayed request was accepted")
+        except ControlError as exc:
+            if exc.code != "stale_nonce":
+                failures.append(f"replay rejected as {exc.code!r}, "
+                                "expected 'stale_nonce'")
+
+        stats = hub.call("account-stats")["hub"]
+        expected_pays = streams * payments + extra_pays
+        checks = [
+            ("accounts", accounts), ("pays", expected_pays),
+            ("deposited_total", accounts * per_account),
+            ("fee_bucket", expected_pays * HUB_FEE),
+            ("withdrawn_total", 0),
+            ("conserved", True), ("solvent", True),
+        ]
+        for key, expected in checks:
+            if stats[key] != expected:
+                failures.append(
+                    f"hub.{key} = {stats[key]!r}, expected {expected!r}")
+
+        # Withdraw over a real channel, then settle that channel: the
+        # value must leave the enclave and land in alice's wallet.
+        withdrawal = per_account // 4
+        hub.call("account-withdraw",
+                 request=fleet.signers[0].withdraw_request(
+                     withdrawal, "channel", channels["alice"]))
+        _poll(lambda: alice.call(
+                  "channel",
+                  channel_id=channels["alice"])["my_balance"]
+              == withdrawal,
+              what="channel withdrawal to reach alice")
+        after = hub.call("account-stats")["hub"]
+        if after["withdrawn_total"] != withdrawal:
+            failures.append(f"withdrawn_total {after['withdrawn_total']}"
+                            f" != {withdrawal}")
+        if not after["conserved"]:
+            failures.append("ledger not conserved after withdrawal")
+
+        drops = asyncio.run(transport_drops(
+            [(HOST, handle.control_port) for handle in handles.values()]))
+        counters = hub.call("metrics")["metrics"]["counters"]
+        hub.call("settle", channel_id=channels["alice"])
+        _poll(lambda: alice.call("balance")["onchain"]
+              == GENESIS + withdrawal,
+              what="settlement to pay alice's wallet")
+        balance_alice = alice.call("balance")["onchain"]
+    finally:
+        for handle in handles.values():
+            handle.shutdown()
+
+    if drops["protocol"]:
+        failures.append(
+            f"{drops['protocol']} protocol-plane frame(s) dropped")
+    if report.errors:
+        failures.append(f"{report.errors} account pay(s) rejected: "
+                        f"{report.rejected}")
+    if report.completed != streams * payments:
+        failures.append(f"completed {report.completed} "
+                        f"of {streams * payments}")
+    if not counters.get("hub.rejected_sigs"):
+        failures.append("hub.rejected_sigs not incremented")
+    if not counters.get("hub.rejected_nonces"):
+        failures.append("hub.rejected_nonces not incremented")
+    if balance_alice != GENESIS + withdrawal:
+        failures.append(f"alice settled to {balance_alice}, expected "
+                        f"{GENESIS + withdrawal}")
+
+    conservation = {
+        "accounts": accounts, "per_account": per_account,
+        "backing": backing, "stats": after,
+        "balance_alice": balance_alice,
+    }
+    path = _write_sidecar(
+        "load_hub", "load smoke (account)", report, registry,
+        args.sidecar_dir,
+        {"transport_drops": drops, "conservation": conservation,
+         "hub_counters": {k: v for k, v in counters.items()
+                          if k.startswith("hub.")}})
+    print(json.dumps({**report.to_dict(), "transport_drops": drops,
+                      "conservation": conservation}, indent=2))
+    print(f"sidecar: {path}", file=sys.stderr)
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"OK: {accounts} accounts, {report.completed} account "
+              "pays, forged/replayed rejected, ledger conserved",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.load",
@@ -236,11 +424,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     smoke = sub.add_parser(
         "smoke", help="self-contained loopback load check (CI)")
+    smoke.add_argument("--mode", choices=("channel", "account"),
+                       default="channel",
+                       help="channel: loopback pair; account: hub "
+                            "with simulated client accounts")
     smoke.add_argument("--payments", type=int, default=150,
-                       help="payments per direction")
+                       help="payments per direction (channel) or per "
+                            "stream (account)")
+    smoke.add_argument("--accounts", type=int, default=200,
+                       help="account mode: simulated clients")
     smoke.add_argument("--concurrency", type=int, default=4)
     smoke.add_argument("--sidecar-dir", default=None,
-                       help="where BENCH_load.json goes (default: cwd)")
+                       help="where BENCH_load[_hub].json goes "
+                            "(default: cwd)")
     smoke.set_defaults(func=_cmd_smoke)
 
     args = parser.parse_args(argv)

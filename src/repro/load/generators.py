@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.obs import MetricsRegistry, summarize_samples
@@ -44,6 +44,14 @@ class LoadTarget:
     channel_id: str
     amount: int = 1
     label: str = ""
+    # Optional request builder: () -> (cmd, kwargs).  When set, each
+    # attempt issues that command instead of the default channel "pay" —
+    # this is how hub-account streams plug in (each call signs a fresh
+    # nonce, so the factory must be called once per attempt, never
+    # cached).  Excluded from equality/hash so frozen targets stay
+    # comparable.
+    request_factory: Optional[Callable[[], Tuple[str, Dict[str, Any]]]] = \
+        field(default=None, compare=False)
 
     @property
     def name(self) -> str:
@@ -76,6 +84,7 @@ class _TargetState:
         self.stalls = 0   # open loop: scheduler blocked on the pool
         self.samples: List[float] = []
         self.aborted: Optional[str] = None
+        self.rejected: Dict[str, int] = {}  # error code -> count
 
     def take(self) -> bool:
         if self.remaining <= 0 or self.aborted is not None:
@@ -91,11 +100,16 @@ class _TargetState:
             registry.observe(f"load.latency[{self.target.name}]", latency_s)
             registry.inc("load.completed")
 
-    def record_error(self, registry: MetricsRegistry) -> None:
+    def record_error(self, registry: MetricsRegistry,
+                     code: Optional[str] = None) -> None:
         self.errors += 1
+        if code is not None:
+            self.rejected[code] = self.rejected.get(code, 0) + 1
         if registry.enabled:
             registry.inc("load.errors")
             registry.inc(f"load.errors[{self.target.name}]")
+            if code is not None:
+                registry.inc(f"load.rejected[{code}]")
 
     def result(self, elapsed_s: float) -> Dict[str, Any]:
         row: Dict[str, Any] = {
@@ -111,6 +125,11 @@ class _TargetState:
             "latency": (summarize_samples(self.samples)
                         if self.samples else None),
         }
+        if self.rejected:
+            # Per-code rejection counts (stable control-plane codes), so
+            # a report can distinguish "the hub refused these" from "the
+            # transport ate these".
+            row["rejected"] = dict(sorted(self.rejected.items()))
         if self.late or self.stalls:
             row["late"] = self.late
             row["stalls"] = self.stalls
@@ -136,6 +155,15 @@ class LoadReport:
         return sum(row["errors"] for row in self.targets)
 
     @property
+    def rejected(self) -> Dict[str, int]:
+        """Rejection counts by stable error code, across all targets."""
+        merged: Dict[str, int] = {}
+        for row in self.targets:
+            for code, count in (row.get("rejected") or {}).items():
+                merged[code] = merged.get(code, 0) + count
+        return dict(sorted(merged.items()))
+
+    @property
     def throughput_tx_s(self) -> Optional[float]:
         if self.elapsed_s <= 0:
             return None
@@ -147,6 +175,7 @@ class LoadReport:
             "elapsed_s": self.elapsed_s,
             "completed": self.completed,
             "errors": self.errors,
+            "rejected": self.rejected,
             "throughput_tx_s": self.throughput_tx_s,
             "targets": self.targets,
         }
@@ -161,14 +190,18 @@ async def _pay_once(client: AsyncControlClient, state: _TargetState,
     its daemon is gone, retrying would just time out N more times."""
     target = state.target
     state.sent += 1
+    if target.request_factory is not None:
+        cmd, kwargs = target.request_factory()
+    else:
+        cmd, kwargs = "pay", {"channel_id": target.channel_id,
+                              "amount": target.amount}
     reference = time.perf_counter() if started_at is None else started_at
     try:
-        await client.call("pay", channel_id=target.channel_id,
-                          amount=target.amount)
+        await client.call(cmd, **kwargs)
     except ControlError as exc:
         if exc.code in ("timeout", "connection_closed"):
             state.aborted = f"{exc.code}: {exc}"
-        state.record_error(registry)
+        state.record_error(registry, code=exc.code)
         return
     except OSError as exc:
         state.aborted = f"transport: {exc}"

@@ -461,5 +461,12 @@ def _register_schema() -> None:
     register_dataclass(41, m.Freeze)
     register_dataclass(42, m.ChannelCheckpoint)
 
+    from repro.hub import messages as hub_messages
+
+    register_dataclass(43, hub_messages.AccountDeposit)
+    register_dataclass(44, hub_messages.AccountPay)
+    register_dataclass(45, hub_messages.AccountWithdraw)
+    register_dataclass(46, hub_messages.AccountQuery)
+
 
 _register_schema()

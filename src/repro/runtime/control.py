@@ -26,6 +26,14 @@ from typing import Any, Dict, Optional
 
 from repro.errors import ReproError
 
+# Per-line buffer cap for the control plane's asyncio streams.  The
+# asyncio default (64 KiB) is too small for batched hub verbs: one
+# ``account-pay-many`` line carries hundreds of hex-encoded signed
+# requests (~400 bytes each), so servers and async clients both
+# allocate this limit instead.  The blocking client reads through a
+# socket file object and needs no cap.
+CONTROL_LINE_LIMIT = 1 << 20
+
 
 class ControlError(ReproError):
     """A control command failed; ``code`` is the stable error code.
@@ -150,7 +158,9 @@ class AsyncControlClient:
                       timeout: float = 120.0) -> "AsyncControlClient":
         try:
             reader, writer = await asyncio.wait_for(
-                asyncio.open_connection(host, port), timeout)
+                asyncio.open_connection(host, port,
+                                        limit=CONTROL_LINE_LIMIT),
+                timeout)
         except asyncio.TimeoutError:
             raise ControlError(
                 f"connect to {host}:{port} timed out after {timeout:.1f}s",

@@ -52,7 +52,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.blockchain.chain import Blockchain
 from repro.blockchain.script import LockingScript
-from repro.blockchain.transaction import Transaction
+from repro.blockchain.transaction import Transaction, build_p2pkh_transfer
 from repro.core.batching import PaymentBatcher
 from repro.core.deposits import DepositRecord
 from repro.core.node import TeechainNetwork, TeechainNode
@@ -60,6 +60,7 @@ from repro.core.persistence import PersistentStore
 from repro.crypto.hashing import sha256
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.errors import BlockchainError, ReproError
+from repro.hub import messages as hub_messages
 from repro.network.secure_channel import channel_from_quote
 from repro.obs import (
     NO_TRACE,
@@ -81,6 +82,8 @@ from repro.runtime.messages import (
     OpenChannel,
     OpenChannelOk,
 )
+from repro.runtime import codec
+from repro.runtime.control import CONTROL_LINE_LIMIT
 from repro.runtime.recovery import DaemonStateStore, chain_snapshot, replay_chain
 from repro.runtime.registry import (
     CommandError,
@@ -280,7 +283,8 @@ class NodeDaemon:
         """Bind both listeners; returns (peer port, control port)."""
         _, port = await self.net.start()
         self._control_server = await asyncio.start_server(
-            self._serve_control, self.control_host, self.control_port
+            self._serve_control, self.control_host, self.control_port,
+            limit=CONTROL_LINE_LIMIT,
         )
         self.control_port = self._control_server.sockets[0].getsockname()[1]
         self._pump_task = asyncio.get_event_loop().create_task(
@@ -751,6 +755,139 @@ class NodeDaemon:
         await self._drain_outbox()
         self._set_checkpoint_timer(checkpoint_ms if enabled else 0)
         return {**result, "checkpoint_ms": self.checkpoint_ms}
+
+    # ------------------------------------------------------------------
+    # Account hub (repro.hub): the host only shuttles signed request
+    # bytes into the enclave — forgery/replay/balance checks all happen
+    # inside hub_handle_request, so none of these verbs are trusted.
+    # ------------------------------------------------------------------
+
+    def _decode_account_request(self, request: Any,
+                                expected: Optional[type] = None):
+        """Hex → SignedMessage, with ``bad_request`` on malformed input.
+
+        Type/signature/nonce verification is the enclave's job; this
+        only rejects bytes that cannot possibly be a request."""
+        from repro.core.messages import SignedMessage
+
+        if not isinstance(request, str):
+            raise CommandError("request must be a hex string",
+                               code="bad_request")
+        try:
+            signed = codec.decode(bytes.fromhex(request))
+        except (ValueError, codec.CodecError) as exc:
+            raise CommandError(f"undecodable account request: {exc}",
+                               code="bad_request") from None
+        if not isinstance(signed, SignedMessage):
+            raise CommandError("account requests must be SignedMessages",
+                               code="bad_request")
+        if expected is not None and not isinstance(signed.body, expected):
+            raise CommandError(
+                f"expected a signed {expected.__name__}, got "
+                f"{type(signed.body).__name__}", code="bad_request")
+        return signed
+
+    def _chain_payout(self, address: str, amount: int) -> str:
+        """Execute an enclave-authorised on-chain withdrawal from the hub
+        wallet and mine it, so the payout is immediately auditable on
+        every replica's chain."""
+        sources, total = self.node._wallet_outpoints(amount)
+        destinations = [(address, amount)]
+        if total > amount:
+            destinations.append((self.node.address, total - amount))
+        transaction = build_p2pkh_transfer(
+            sources, self.node.wallet.private, destinations)
+        self.node.client.broadcast(transaction)
+        self.network.mine()
+        return transaction.txid
+
+    @COMMANDS.command(
+        "account-open",
+        Param("request", doc="hex-encoded signed AccountDeposit"),
+        doc="Open (or credit) a client account from a signed deposit "
+            "request; the credit must fit the hub's channel/deposit "
+            "backing.")
+    async def _cmd_account_open(self, request: str) -> Dict[str, Any]:
+        signed = self._decode_account_request(
+            request, hub_messages.AccountDeposit)
+        return self.node.enclave.ecall("hub_handle_request", signed)
+
+    @COMMANDS.command(
+        "account-pay",
+        Param("request", doc="hex-encoded signed AccountPay"),
+        doc="Move value between two client accounts inside the hub "
+            "ledger (minus the hub fee).")
+    async def _cmd_account_pay(self, request: str) -> Dict[str, Any]:
+        signed = self._decode_account_request(request,
+                                              hub_messages.AccountPay)
+        return self.node.enclave.ecall("hub_handle_request", signed)
+
+    @COMMANDS.command(
+        "account-withdraw",
+        Param("request", doc="hex-encoded signed AccountWithdraw"),
+        doc="Withdraw from an account: internal move, out over a channel "
+            "(pinned to a fresh checkpoint), or on-chain via the hub "
+            "wallet.")
+    async def _cmd_account_withdraw(self, request: str) -> Dict[str, Any]:
+        signed = self._decode_account_request(
+            request, hub_messages.AccountWithdraw)
+        result = self.node.enclave.ecall("hub_handle_request", signed)
+        # Channel-route withdrawals leave Paid/checkpoint frames in the
+        # enclave outbox; chain-route ones return a payout authorisation
+        # the host wallet executes (observable on the replicated chain).
+        await self._drain_outbox()
+        if result.get("route") == "chain":
+            result["txid"] = self._chain_payout(result["address"],
+                                                result["amount"])
+        return result
+
+    @COMMANDS.command(
+        "account-query",
+        Param("request", doc="hex-encoded signed AccountQuery"),
+        doc="Read an account's balance and last accepted nonce "
+            "(signed: balances are private to the keyholder).",
+        idempotent=True)
+    async def _cmd_account_query(self, request: str) -> Dict[str, Any]:
+        signed = self._decode_account_request(request,
+                                              hub_messages.AccountQuery)
+        return self.node.enclave.ecall("hub_handle_request", signed)
+
+    @COMMANDS.command(
+        "account-pay-many",
+        Param("requests", list, doc="list of hex-encoded signed requests"),
+        doc="Apply a batch of signed account requests in order; each "
+            "item succeeds or is rejected independently with its stable "
+            "error code.")
+    async def _cmd_account_pay_many(self, requests) -> Dict[str, Any]:
+        if not isinstance(requests, list) or not requests:
+            raise CommandError("requests must be a non-empty list",
+                               code="bad_request")
+        signeds = [self._decode_account_request(item) for item in requests]
+        results = self.node.enclave.ecall("hub_handle_batch", signeds)
+        await self._drain_outbox()
+        for item in results:
+            if item.get("ok") and item.get("route") == "chain":
+                item["txid"] = self._chain_payout(item["address"],
+                                                  item["amount"])
+        accepted = sum(1 for item in results if item.get("ok"))
+        return {"results": results, "accepted": accepted,
+                "rejected": len(results) - accepted}
+
+    @COMMANDS.command(
+        "account-stats",
+        doc="Hub ledger summary: accounts, balances, fee bucket, backing, "
+            "conservation and solvency checks.", idempotent=True)
+    async def _cmd_account_stats(self) -> Dict[str, Any]:
+        return {"name": self.name,
+                "hub": self.node.enclave.ecall("hub_stats")}
+
+    @COMMANDS.command(
+        "hub-fee",
+        Param("fee_per_pay", int, doc="fee collected per account pay"),
+        doc="Set the hub's per-payment fee (accumulates in the fee "
+            "bucket).", idempotent=True)
+    async def _cmd_hub_fee(self, fee_per_pay: int) -> Dict[str, Any]:
+        return self.node.enclave.ecall("hub_set_fee", fee_per_pay)
 
     @COMMANDS.command(
         "pay-multihop",

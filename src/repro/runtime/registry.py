@@ -213,6 +213,11 @@ _CODE_TABLE: Tuple[Tuple[type, str], ...] = (
     (errors.DepositError, "deposit_error"),
     (errors.PaymentError, "payment_error"),
     (errors.MultihopError, "multihop_error"),
+    (errors.NoSuchAccountError, "no_such_account"),
+    (errors.AccountNonceError, "stale_nonce"),
+    (errors.AccountFundsError, "account_insufficient"),
+    (errors.LedgerTamperError, "ledger_tampered"),
+    (errors.HubError, "hub_error"),
     (errors.SettlementError, "settlement_error"),
     (errors.ReplicationError, "replication_error"),
     (errors.RoutingError, "routing_error"),

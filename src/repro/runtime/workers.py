@@ -21,9 +21,16 @@ Ownership rules (also documented in DESIGN.md §11):
 * every verb scoped to a channel executes on the owning worker, so a
   channel's enclave state lives in exactly one process;
 * pool-wide verbs (``fastpath``, ``batch-window``, ``mine``,
-  ``eject-all``, ``reclaim``) broadcast to all workers;
-* read-only verbs (``stats``, ``metrics``, ``balance``, ``health``)
-  aggregate across workers.
+  ``eject-all``, ``reclaim``, ``hub-fee``) broadcast to all workers;
+* read-only verbs (``stats``, ``metrics``, ``balance``, ``health``,
+  ``account-stats``) aggregate across workers;
+* hub *accounts* (``account-open``, ``account-pay``, …) are owned by
+  ``ring.owner("account:" + <client pubkey hex>)`` — the router decodes
+  the signed request envelope (not the signature) just far enough to
+  read the account key.  Each worker's ledger is independent, so a pay
+  whose recipient lives on a different shard is rejected with the
+  stable code ``cross_shard``; batches split per owner and merge back
+  in submission order.
 
 Genesis determinism: every worker is started with the router's
 ``--fund`` allocation verbatim, so the allocation handed to a sharded
@@ -41,8 +48,10 @@ import subprocess
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ReproError
-from repro.runtime.control import AsyncControlClient, ControlError, \
-    wait_for_control
+from repro.hub.client import decode_request
+from repro.hub.messages import AccountPay
+from repro.runtime.control import AsyncControlClient, \
+    CONTROL_LINE_LIMIT, ControlError, wait_for_control
 from repro.runtime.launch import free_port, spawn_daemon
 from repro.runtime.registry import CommandError, code_for_exception
 from repro.workloads.assignment import HashRing
@@ -79,11 +88,15 @@ class ShardedDaemon:
     #: Routed by the channel id in the request (recorded at open).
     BY_CHANNEL = frozenset({"pay", "bench-pay", "bench-latency", "settle",
                             "channel"})
+    #: Routed by the client account key inside the signed request.
+    BY_ACCOUNT = frozenset({"account-open", "account-pay",
+                            "account-withdraw", "account-query"})
     #: Fan out to every worker; per-worker responses returned verbatim.
     BROADCAST = frozenset({"batch-window", "fastpath", "mine", "eject-all",
-                           "reclaim"})
+                           "reclaim", "hub-fee"})
     #: Fan out and merge into one pool-wide answer.
-    AGGREGATE = frozenset({"stats", "metrics", "balance", "health"})
+    AGGREGATE = frozenset({"stats", "metrics", "balance", "health",
+                           "account-stats"})
 
     def __init__(
         self,
@@ -140,7 +153,8 @@ class ShardedDaemon:
             await self.stop()
             raise
         self._control_server = await asyncio.start_server(
-            self._serve_control, self.host, self.control_port)
+            self._serve_control, self.host, self.control_port,
+            limit=CONTROL_LINE_LIMIT)
         self.control_port = \
             self._control_server.sockets[0].getsockname()[1]
         logger.info("%s: routing %d workers, control on %s:%d", self.name,
@@ -192,6 +206,81 @@ class ShardedDaemon:
                 f"no worker owns channel {channel_id!r} (was it opened "
                 "through this router?)", code="no_such_channel")
         return self.workers[owner]
+
+    def _worker_for_account(self, account_hex: str) -> WorkerHandle:
+        # Namespaced so account placement is independent of peer
+        # placement even when a pubkey hex collides with a peer name.
+        return self.workers[self.ring.owner(f"account:{account_hex}")]
+
+    @staticmethod
+    def _decode_account(request_hex: Any):
+        """Decode a signed account request far enough to route it.
+
+        The router reads only the envelope (account key, and recipient
+        for pays); signature and nonce verification stay inside the
+        owning worker's enclave."""
+        try:
+            signed = decode_request(str(request_hex))
+        except Exception as exc:  # noqa: BLE001 — any decode failure
+            raise CommandError(
+                f"undecodable account request: {exc}",
+                code="bad_request") from None
+        return signed.body
+
+    def _route_account_request(self, cmd: str,
+                               body: Any) -> WorkerHandle:
+        account_hex = body.account.to_bytes().hex()
+        worker = self._worker_for_account(account_hex)
+        if cmd == "account-pay" and isinstance(body, AccountPay):
+            recipient_hex = body.recipient.to_bytes().hex()
+            recipient_worker = self._worker_for_account(recipient_hex)
+            if recipient_worker.name != worker.name:
+                raise CommandError(
+                    f"recipient account {recipient_hex[:16]}… lives on "
+                    f"{recipient_worker.name}, payer on {worker.name}; "
+                    "cross-shard account pays are not supported — pair "
+                    "accounts within a shard or withdraw over a channel",
+                    code="cross_shard")
+        return worker
+
+    async def _account_pay_many(
+            self, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+        """Split a batch per owning worker, fan out, merge in order."""
+        requests = kwargs.get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise CommandError(
+                "account-pay-many requires a non-empty 'requests' list",
+                code="bad_request")
+        merged: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        per_worker: Dict[str, List[tuple]] = {}
+        for index, request_hex in enumerate(requests):
+            try:
+                body = self._decode_account(request_hex)
+                worker = self._route_account_request(
+                    "account-pay" if isinstance(body, AccountPay)
+                    else "account-batch", body)
+            except CommandError as exc:
+                merged[index] = {"ok": False, "code": exc.code,
+                                 "error": str(exc)}
+                continue
+            per_worker.setdefault(worker.name, []).append(
+                (index, request_hex))
+        names = list(per_worker)
+        responses = await asyncio.gather(
+            *(self.workers[name].call(
+                "account-pay-many",
+                requests=[hexes for _, hexes in per_worker[name]])
+              for name in names),
+            return_exceptions=True)
+        for name, response in zip(names, responses):
+            if isinstance(response, BaseException):
+                raise response
+            for (index, _), result in zip(per_worker[name],
+                                          response["results"]):
+                merged[index] = result
+        accepted = sum(1 for r in merged if r and r.get("ok"))
+        return {"results": merged, "accepted": accepted,
+                "rejected": len(merged) - accepted}
 
     def _resolve_worker(self, cmd: str,
                         kwargs: Dict[str, Any]) -> WorkerHandle:
@@ -287,6 +376,14 @@ class ShardedDaemon:
             worker = self._worker_for_peer(str(kwargs["peer"]))
             return await worker.call(cmd, **kwargs)
 
+        if cmd in self.BY_ACCOUNT:
+            body = self._decode_account(kwargs.get("request", ""))
+            worker = self._route_account_request(cmd, body)
+            response = await worker.call(cmd, **kwargs)
+            return {**response, "worker": worker.name}
+        if cmd == "account-pay-many":
+            return await self._account_pay_many(kwargs)
+
         if cmd in self.BY_PEER or cmd in self.BY_CHANNEL \
                 or cmd == "approve-associate":
             worker = self._resolve_worker(cmd, kwargs)
@@ -320,6 +417,19 @@ class ShardedDaemon:
                                  for r in responses.values()) else "degraded"
             return {"node": self.name, "status": status,
                     "workers": responses}
+        if cmd == "account-stats":
+            summed = {}
+            for key in ("accounts", "total_balance", "fee_bucket",
+                        "deposited_total", "withdrawn_total", "pays",
+                        "liabilities", "backing"):
+                summed[key] = sum(r["hub"][key] for r in responses.values())
+            summed["fee_per_pay"] = max(
+                r["hub"]["fee_per_pay"] for r in responses.values())
+            summed["conserved"] = all(r["hub"]["conserved"]
+                                      for r in responses.values())
+            summed["solvent"] = all(r["hub"]["solvent"]
+                                    for r in responses.values())
+            return {"name": self.name, "hub": summed, "workers": responses}
         if cmd == "stats":
             sent = sum(r["payments"]["sent"] for r in responses.values())
             received = sum(r["payments"]["received"]
@@ -343,6 +453,11 @@ class ShardedDaemon:
         ]
         rows += [{"cmd": cmd, "routing": "by peer (consistent hash)"}
                  for cmd in sorted(self.BY_PEER | {"open-channel"})]
+        rows += [{"cmd": cmd,
+                  "routing": "by account key (consistent hash)"}
+                 for cmd in sorted(self.BY_ACCOUNT)]
+        rows.append({"cmd": "account-pay-many",
+                     "routing": "split per owning worker, merged"})
         rows += [{"cmd": cmd, "routing": "by channel"}
                  for cmd in sorted(self.BY_CHANNEL)]
         rows += [{"cmd": cmd, "routing": "broadcast"}

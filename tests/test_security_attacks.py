@@ -9,11 +9,17 @@ from repro.blockchain import Blockchain, LockingScript
 from repro.core.messages import Paid, SignedMessage
 from repro.crypto import KeyPair
 from repro.errors import (
+    AccountFundsError,
+    AccountNonceError,
     DoubleSpend,
+    LedgerTamperError,
     MessageAuthenticationError,
     PaymentError,
 )
+from repro.hub.messages import AccountDeposit, AccountPay, AccountWithdraw
 from repro.network import NetworkAdversary
+from repro.obs import MetricsRegistry, set_metrics
+from repro.runtime.registry import code_for_exception
 from repro.tee import extract_secrets, fork_enclave
 
 
@@ -104,6 +110,92 @@ class TestTEECompromise:
         from repro.errors import InvalidTransaction
         with pytest.raises(InvalidTransaction):
             network.chain.submit(theft)  # 1 valid signature < threshold 2
+
+
+class TestHubAccountAttacks:
+    """RouTEE-model attacks on the account hub (DESIGN.md §12): the
+    host and control plane are untrusted couriers, so every forged,
+    replayed, or tampered request must die inside the enclave with a
+    stable error code and a counted rejection."""
+
+    @pytest.fixture
+    def hub(self, open_channel):
+        """Alice's enclave as the hub (50k channel backing), one funded
+        client account, and a fresh metrics registry."""
+        network, alice, bob, channel = open_channel
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        client = KeyPair.from_seed(b"hub-client")
+        alice.enclave.ecall(
+            "hub_handle_request",
+            SignedMessage.create(AccountDeposit(client.public, 10_000, 1),
+                                 client.private))
+        yield alice, client, registry
+        set_metrics(previous)
+
+    def test_forged_signature_rejected(self, hub):
+        """A request signed by anyone but the named account holder is
+        refused before any state is read."""
+        alice, client, registry = hub
+        mallory = KeyPair.from_seed(b"hub-mallory")
+        forged = SignedMessage.create(
+            AccountWithdraw(client.public, 10_000, 2), mallory.private)
+        with pytest.raises(MessageAuthenticationError) as excinfo:
+            alice.enclave.ecall("hub_handle_request", forged)
+        assert code_for_exception(excinfo.value) == "authentication_failed"
+        assert registry.counter("hub.rejected_sigs").value == 1
+        assert alice.program.hub.balances[client.public.to_bytes()] == 10_000
+
+    def test_replayed_nonce_rejected(self, hub):
+        """Resubmitting an accepted request (or any nonce at or below
+        the last accepted one) is a no-op with a stable code."""
+        alice, client, registry = hub
+        replay = SignedMessage.create(
+            AccountDeposit(client.public, 10_000, 1), client.private)
+        with pytest.raises(AccountNonceError) as excinfo:
+            alice.enclave.ecall("hub_handle_request", replay)
+        assert code_for_exception(excinfo.value) == "stale_nonce"
+        assert registry.counter("hub.rejected_nonces").value == 1
+        assert alice.program.hub.deposited_total == 10_000  # not doubled
+
+    def test_host_balance_tamper_detected(self, hub):
+        """A host that edits the ledger out-of-band is caught by the
+        conservation check before the next mutation is applied."""
+        alice, client, registry = hub
+        alice.program.hub.balances[client.public.to_bytes()] += 5_000
+        request = SignedMessage.create(
+            AccountDeposit(client.public, 100, 2), client.private)
+        with pytest.raises(LedgerTamperError) as excinfo:
+            alice.enclave.ecall("hub_handle_request", request)
+        assert code_for_exception(excinfo.value) == "ledger_tampered"
+        assert registry.counter("hub.rejected_tamper").value == 1
+
+    def test_over_withdraw_rejected(self, hub):
+        alice, client, registry = hub
+        request = SignedMessage.create(
+            AccountWithdraw(client.public, 10_001, 2), client.private)
+        with pytest.raises(AccountFundsError) as excinfo:
+            alice.enclave.ecall("hub_handle_request", request)
+        assert code_for_exception(excinfo.value) == "account_insufficient"
+        assert registry.counter("hub.rejected_funds").value == 1
+        assert alice.program.hub.balances[client.public.to_bytes()] == 10_000
+
+    def test_spliced_account_key_rejected(self, hub):
+        """Mallory cannot spend the victim's balance by naming it in a
+        request signed with her own (registered) key."""
+        alice, client, registry = hub
+        mallory = KeyPair.from_seed(b"hub-mallory")
+        alice.enclave.ecall(
+            "hub_handle_request",
+            SignedMessage.create(AccountDeposit(mallory.public, 1_000, 1),
+                                 mallory.private))
+        spliced = SignedMessage.create(
+            AccountPay(client.public, mallory.public, 9_000, 2),
+            mallory.private)
+        with pytest.raises(MessageAuthenticationError):
+            alice.enclave.ecall("hub_handle_request", spliced)
+        assert registry.counter("hub.rejected_sigs").value == 1
+        assert alice.program.hub.balances[client.public.to_bytes()] == 10_000
 
 
 class TestAsynchronyContrast:

@@ -150,6 +150,38 @@ class TestHashRing:
         ring.add("w0")
         assert ring.nodes == ["w0", "w1"]
 
+    def test_add_one_worker_moves_bounded_share(self):
+        """The stability bound documented on :class:`HashRing`: adding
+        one worker to N moves only the keys the newcomer captures —
+        ``keys/(N+1)`` in expectation, under ``2 × keys/(N+1)``
+        observed with 64 replicas — and every moved key moves *to* the
+        newcomer, never between survivors."""
+        workers = 4
+        keys = [f"account:key{i}" for i in range(10_000)]
+        ring = HashRing([f"w{i}" for i in range(workers)])
+        before = {key: ring.owner(key) for key in keys}
+        ring.add("w-new")
+        moved = {key for key in keys if ring.owner(key) != before[key]}
+        assert moved, "the new worker captured nothing"
+        assert all(ring.owner(key) == "w-new" for key in moved)
+        assert len(moved) <= 2 * len(keys) // (workers + 1)
+
+    def test_remove_one_worker_moves_only_its_keys(self):
+        keys = [f"account:key{i}" for i in range(10_000)]
+        ring = HashRing([f"w{i}" for i in range(5)])
+        before = {key: ring.owner(key) for key in keys}
+        ring.remove("w3")
+        moved = {key for key in keys if ring.owner(key) != before[key]}
+        assert moved == {key for key in keys if before[key] == "w3"}
+
+    def test_add_then_remove_restores_ownership(self):
+        keys = [f"account:key{i}" for i in range(2_000)]
+        ring = HashRing([f"w{i}" for i in range(4)])
+        before = {key: ring.owner(key) for key in keys}
+        ring.add("w-new")
+        ring.remove("w-new")
+        assert {key: ring.owner(key) for key in keys} == before
+
 
 class TestTimingModels:
     def test_chain_latency_sums_hops(self):
