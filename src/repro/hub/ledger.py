@@ -16,9 +16,11 @@ never owes clients more than the channels/deposits it controls can pay.
 :class:`HubAccountsMixin` is mixed into
 :class:`~repro.core.multihop.TeechainEnclave` and adds the ecall
 surface: ``hub_handle_request`` (one signed request), ``hub_handle_batch``
-(many, with per-item results), ``hub_stats`` (read-only), and
-``hub_set_fee``.  Signature and nonce verification happen here, inside
-the enclave — the untrusted host only shuttles encoded bytes.
+(many, with per-item results), ``hub_stats`` (read-only),
+``hub_set_fee``, and ``hub_refund_payout`` (compensation for a chain
+payout the host could not execute).  Signature and nonce verification
+happen here, inside the enclave — the untrusted host only shuttles
+encoded bytes.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.errors import (
     LedgerTamperError,
     MessageAuthenticationError,
     NoSuchAccountError,
+    ReplicationError,
 )
 from repro.hub.messages import (
     WITHDRAW_ROUTES,
@@ -131,13 +134,24 @@ class HubAccountsMixin:
         """Apply many requests in order, independently: one bad request
         is rejected in place (with its stable error code) without
         aborting the rest — the batch verb exists to amortise control
-        round-trips, not to add transactional semantics."""
+        round-trips, not to add transactional semantics.
+
+        The one exception is a replication failure: by the time
+        ``_replicated`` raises, the item has already mutated the ledger,
+        and only the ecall rollback guard can undo that.  Reporting the
+        item as rejected would swallow the exception the guard keys on,
+        leaving the pay applied (and its nonce consumed) while the
+        client is told it failed — a retry would then double-spend.  So
+        replication failures abort the whole batch: the guard restores
+        the pre-batch state and the caller resubmits everything."""
         from repro.runtime.registry import code_for_exception
 
         results: List[Dict[str, Any]] = []
         for signed in requests:
             try:
                 results.append({"ok": True, **self._hub_apply(signed)})
+            except ReplicationError:
+                raise  # Alg. 3: no effect without the backup's ack
             except Exception as exc:  # rejected item, not a crashed batch
                 results.append({"ok": False,
                                 "code": code_for_exception(exc),
@@ -168,6 +182,49 @@ class HubAccountsMixin:
         self.hub.fee_per_pay = int(fee_per_pay)
         self._replicated(f"hub_set_fee:{fee_per_pay}")
         return {"fee_per_pay": self.hub.fee_per_pay}
+
+    def hub_refund_payout(self, account_hex: str,
+                          amount: int) -> Dict[str, Any]:
+        """Compensate a chain withdrawal whose host-side payout failed.
+
+        The chain route is authorise-then-execute: the enclave debits,
+        the host builds/broadcasts the wallet transaction.  When that
+        execution fails (wallet UTXOs short, broadcast rejected) the
+        host calls back in here to re-credit the account, so the debit
+        is a clean rejection instead of burned funds.  The nonce stays
+        consumed — replay protection is untouched; the client retries
+        with a fresh nonce.
+
+        The host is trusted only for payout *liveness* (it can always
+        withhold broadcasts, here as everywhere in Teechain's model); a
+        dishonest refund claim cannot mint value — the refund can never
+        exceed what external withdrawals actually debited, conservation
+        still holds, and every reversal is metered
+        (``hub.payout_refunds``) and auditable against the replicated
+        chain, where the payout, had it happened, would be visible."""
+        if amount <= 0:
+            raise HubError(f"refund amount must be positive, got {amount}")
+        try:
+            key = bytes.fromhex(account_hex)
+        except ValueError:
+            raise HubError("refund account must be a hex-encoded public "
+                           "key") from None
+        if key not in self.hub.balances:
+            raise NoSuchAccountError(
+                f"no account {key.hex()[:12]}… at this hub")
+        if amount > self.hub.withdrawn_total:
+            raise HubError(
+                f"refund of {amount} exceeds the {self.hub.withdrawn_total} "
+                "ever withdrawn externally — refused (a refund must "
+                "reverse a real debit, not mint liabilities)")
+        self._hub_check_conserved()
+        self.hub.balances[key] += amount
+        self.hub.withdrawn_total -= amount
+        get_metrics().inc("hub.payout_refunds")
+        self._replicated(
+            f"hub_refund_payout:{key.hex()[:12]}:{amount}")
+        return {"account": key.hex(), "amount": amount,
+                "balance": self.hub.balances[key]}
 
     # ------------------------------------------------------------------
     # Verification and dispatch
@@ -328,9 +385,20 @@ class HubAccountsMixin:
             # and raises before any ledger mutation; the forced
             # checkpoint flush pins the withdrawal to a fresh signed
             # state per the fast-path rules, like every other external
-            # fund move.
-            self.pay(body.destination, body.amount)
-            self._flush_checkpoint(body.destination)
+            # fund move.  The ecall guard only rolls back on replication
+            # failure, so any *other* failure after pay() has moved
+            # channel funds and queued frames must be unwound here —
+            # otherwise the channel has paid out while the account is
+            # still credited, and the client can withdraw again.
+            snapshot = self._rollback_snapshot()
+            try:
+                self.pay(body.destination, body.amount)
+                self._flush_checkpoint(body.destination)
+            except ReplicationError:
+                raise  # the ecall guard restores the same snapshot
+            except Exception:
+                self._rollback(snapshot)
+                raise
             self.hub.balances[key] = balance - body.amount
             self.hub.withdrawn_total += body.amount
         else:  # chain

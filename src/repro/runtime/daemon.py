@@ -801,6 +801,29 @@ class NodeDaemon:
         self.network.mine()
         return transaction.txid
 
+    def _chain_payout_refunding(self, account_hex: str, address: str,
+                                amount: int) -> str:
+        """``_chain_payout``, but a failure re-credits the enclave
+        ledger instead of burning the client's balance.
+
+        The chain route is authorise-then-execute: the enclave has
+        already debited by the time the host builds the wallet
+        transaction, and the wallet can come up short even though the
+        withdrawal was admitted (solvency counts channel balances and
+        free deposits, not wallet UTXOs).  Without the compensating
+        ecall the debit would stand with no payout, no txid, and no
+        reconciliation path."""
+        try:
+            return self._chain_payout(address, amount)
+        except Exception as exc:
+            self.node.enclave.ecall("hub_refund_payout", account_hex,
+                                    amount)
+            raise CommandError(
+                f"chain payout of {amount} to {address!r} failed ({exc}); "
+                "the account balance was re-credited — the nonce stays "
+                "consumed, retry with a fresh one",
+                code="payout_failed") from exc
+
     @COMMANDS.command(
         "account-open",
         Param("request", doc="hex-encoded signed AccountDeposit"),
@@ -831,14 +854,23 @@ class NodeDaemon:
     async def _cmd_account_withdraw(self, request: str) -> Dict[str, Any]:
         signed = self._decode_account_request(
             request, hub_messages.AccountWithdraw)
+        body = signed.body
+        if body.route == "chain" and body.amount > 0:
+            # Fail the cheap case before the enclave debits: solvency
+            # admission counts channel balances and free deposits, not
+            # wallet UTXOs, so check the wallet actually covers the
+            # payout first (InsufficientFunds → stable code, and the
+            # request's nonce is never consumed).  Non-positive amounts
+            # fall through for the enclave's own validation.
+            self.node._wallet_outpoints(body.amount)
         result = self.node.enclave.ecall("hub_handle_request", signed)
         # Channel-route withdrawals leave Paid/checkpoint frames in the
         # enclave outbox; chain-route ones return a payout authorisation
         # the host wallet executes (observable on the replicated chain).
         await self._drain_outbox()
         if result.get("route") == "chain":
-            result["txid"] = self._chain_payout(result["address"],
-                                                result["amount"])
+            result["txid"] = self._chain_payout_refunding(
+                result["account"], result["address"], result["amount"])
         return result
 
     @COMMANDS.command(
@@ -867,8 +899,14 @@ class NodeDaemon:
         await self._drain_outbox()
         for item in results:
             if item.get("ok") and item.get("route") == "chain":
-                item["txid"] = self._chain_payout(item["address"],
-                                                  item["amount"])
+                try:
+                    item["txid"] = self._chain_payout_refunding(
+                        item["account"], item["address"], item["amount"])
+                except CommandError as exc:
+                    # The ledger debit was reversed; report the item as
+                    # rejected in place so the rest of the batch stands.
+                    item.update(ok=False, code=exc.code, error=str(exc),
+                                refunded=True)
         accepted = sum(1 for item in results if item.get("ok"))
         return {"results": results, "accepted": accepted,
                 "rejected": len(results) - accepted}

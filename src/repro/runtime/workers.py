@@ -49,7 +49,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.hub.client import decode_request
-from repro.hub.messages import AccountPay
+from repro.hub.messages import AccountPay, AccountWithdraw
 from repro.runtime.control import AsyncControlClient, \
     CONTROL_LINE_LIMIT, ControlError, wait_for_control
 from repro.runtime.launch import free_port, spawn_daemon
@@ -231,14 +231,28 @@ class ShardedDaemon:
                                body: Any) -> WorkerHandle:
         account_hex = body.account.to_bytes().hex()
         worker = self._worker_for_account(account_hex)
-        if cmd == "account-pay" and isinstance(body, AccountPay):
-            recipient_hex = body.recipient.to_bytes().hex()
-            recipient_worker = self._worker_for_account(recipient_hex)
-            if recipient_worker.name != worker.name:
+        # Both kinds of internal account-to-account move — a pay and an
+        # account-route withdraw — land on the payer's shard, whose
+        # ledger does not hold the other side; refuse with the stable
+        # ``cross_shard`` code rather than letting the worker report a
+        # misleading ``no_such_account``.
+        other_hex, what = None, ""
+        if isinstance(body, AccountPay):
+            other_hex = body.recipient.to_bytes().hex()
+            what = "recipient account"
+        elif isinstance(body, AccountWithdraw) and body.route == "account":
+            try:
+                other_hex = bytes.fromhex(str(body.destination)).hex()
+            except ValueError:
+                other_hex = None  # the enclave rejects it with its own code
+            what = "destination account"
+        if other_hex is not None:
+            other_worker = self._worker_for_account(other_hex)
+            if other_worker.name != worker.name:
                 raise CommandError(
-                    f"recipient account {recipient_hex[:16]}… lives on "
-                    f"{recipient_worker.name}, payer on {worker.name}; "
-                    "cross-shard account pays are not supported — pair "
+                    f"{what} {other_hex[:16]}… lives on "
+                    f"{other_worker.name}, payer on {worker.name}; "
+                    "cross-shard account moves are not supported — pair "
                     "accounts within a shard or withdraw over a channel",
                     code="cross_shard")
         return worker

@@ -266,6 +266,33 @@ class TestWithdrawRoutes:
         assert alice.program.channels[channel].my_balance == balance
         assert ledger.nonces[CLIENT.public.to_bytes()] == 1
 
+    def test_channel_route_flush_failure_restores_channel_and_ledger(
+            self, hub, monkeypatch):
+        """The ecall guard only undoes replication failures; any other
+        failure after pay() has moved channel funds must be unwound by
+        the handler itself — channel balance, queued frames, ledger,
+        and nonce all revert together."""
+        network, alice, bob, channel = hub
+        before = alice.program.channels[channel].my_balance
+        outbox_before = list(alice.program._outbox)
+
+        def boom(channel_id):
+            raise RuntimeError("injected after pay()")
+
+        monkeypatch.setattr(alice.program, "_flush_checkpoint", boom)
+        with pytest.raises(RuntimeError):
+            alice.enclave.ecall(
+                "hub_handle_request",
+                signed(AccountWithdraw(CLIENT.public, 2_500, 2, "channel",
+                                       channel)))
+        ledger = alice.program.hub
+        assert alice.program.channels[channel].my_balance == before
+        assert alice.program._outbox == outbox_before
+        assert ledger.balances[CLIENT.public.to_bytes()] == 10_000
+        assert ledger.withdrawn_total == 0
+        assert ledger.nonces[CLIENT.public.to_bytes()] == 1
+        assert ledger.conserved()
+
     def test_chain_route_authorises_host_payout(self, hub):
         _, alice, _, _ = hub
         result = alice.enclave.ecall(
@@ -275,6 +302,43 @@ class TestWithdrawRoutes:
         assert result["address"] == "payout-address"
         assert alice.program.hub.withdrawn_total == 3_000
         assert alice.program.hub.conserved()
+
+    def test_chain_payout_refund_restores_balance(self, hub):
+        """Authorise-then-execute: when the host cannot execute the
+        payout, the compensating ecall re-credits the account.  The
+        nonce stays consumed and conservation holds throughout."""
+        _, alice, _, _ = hub
+        alice.enclave.ecall(
+            "hub_handle_request",
+            signed(AccountWithdraw(CLIENT.public, 3_000, 2, "chain",
+                                   "payout-address")))
+        result = alice.enclave.ecall(
+            "hub_refund_payout", CLIENT.public.to_bytes().hex(), 3_000)
+        ledger = alice.program.hub
+        assert result["balance"] == 10_000
+        assert ledger.balances[CLIENT.public.to_bytes()] == 10_000
+        assert ledger.withdrawn_total == 0
+        assert ledger.conserved()
+        assert ledger.nonces[CLIENT.public.to_bytes()] == 2
+
+    def test_refund_cannot_mint_liabilities(self, hub):
+        """A refund must reverse a real external debit: with nothing
+        withdrawn any amount is refused, and after a withdrawal a
+        refund above ``withdrawn_total`` is refused — a host claiming
+        phantom payout failures cannot inflate what the hub owes."""
+        _, alice, _, _ = hub
+        key_hex = CLIENT.public.to_bytes().hex()
+        with pytest.raises(HubError):
+            alice.enclave.ecall("hub_refund_payout", key_hex, 1)
+        alice.enclave.ecall(
+            "hub_handle_request",
+            signed(AccountWithdraw(CLIENT.public, 100, 2, "chain", "addr")))
+        with pytest.raises(HubError):
+            alice.enclave.ecall("hub_refund_payout", key_hex, 101)
+        ledger = alice.program.hub
+        assert ledger.balances[CLIENT.public.to_bytes()] == 9_900
+        assert ledger.withdrawn_total == 100
+        assert ledger.conserved()
 
     def test_chain_route_needs_destination(self, hub):
         _, alice, _, _ = hub
@@ -350,6 +414,40 @@ class TestRollbackAndPersistence:
             signed(AccountDeposit(CLIENT.public, 2_000, 2)))
         assert ledger.balances[CLIENT.public.to_bytes()] == 12_000
 
+    def test_batch_aborts_atomically_on_replication_failure(self, hub):
+        """A replication failure mid-batch cannot be reported as a
+        per-item rejection: by then the item has already mutated the
+        ledger, and only the ecall guard can undo that.  The batch
+        re-raises instead, the guard rolls every item back, and a
+        client retrying the 'failed' batch cannot double-spend."""
+        _, alice, _, _ = hub
+        calls = {"n": 0}
+
+        def hook(description):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise ReplicationError(f"injected during {description}")
+
+        alice.program.replication_hook = hook
+        batch = [
+            signed(AccountDeposit(CLIENT.public, 100, 2)),
+            signed(AccountPay(CLIENT.public, PARTNER.public, 50, 3)),
+        ]
+        with pytest.raises(ReplicationError):
+            alice.enclave.ecall("hub_handle_batch", batch)
+        alice.program.replication_hook = None
+        ledger = alice.program.hub
+        # Item 1 replicated fine but is rolled back with the whole
+        # batch: nothing is half-applied and the nonces stay fresh.
+        assert ledger.balances[CLIENT.public.to_bytes()] == 10_000
+        assert ledger.balances[PARTNER.public.to_bytes()] == 5_000
+        assert ledger.deposited_total == 15_000
+        assert ledger.nonces[CLIENT.public.to_bytes()] == 1
+        assert ledger.conserved()
+        # The identical batch replays cleanly once replication recovers.
+        results = alice.enclave.ecall("hub_handle_batch", batch)
+        assert [row["ok"] for row in results] == [True, True]
+
     def test_replication_blob_round_trips_the_ledger(self, hub):
         _, alice, _, _ = hub
         blob = _replication_blob(alice.program)
@@ -367,3 +465,62 @@ class TestRollbackAndPersistence:
         restore_program_state(replica, state)
         assert replica.hub.balances == {}
         assert replica.hub.conserved()
+
+
+class TestShardRouting:
+    """Router-side ownership checks for account verbs (no workers are
+    spawned — the handles are name-only stubs; only the ring lookups
+    and the ``cross_shard`` refusal paths run)."""
+
+    @pytest.fixture
+    def router(self):
+        from types import SimpleNamespace
+
+        from repro.runtime.workers import ShardedDaemon
+
+        router = ShardedDaemon("hubpool", workers=2)
+        router.workers = {name: SimpleNamespace(name=name)
+                          for name in router.worker_names}
+        return router
+
+    @staticmethod
+    def _accounts_on_distinct_shards(router):
+        by_owner = {}
+        for index in range(64):
+            keypair = KeyPair.from_seed(f"shard-route-{index}".encode())
+            owner = router.ring.owner(
+                "account:" + keypair.public.to_bytes().hex())
+            by_owner.setdefault(owner, keypair)
+            if len(by_owner) == 2:
+                break
+        return [by_owner[name] for name in router.worker_names]
+
+    def test_cross_shard_account_withdraw_refused(self, router):
+        """An account-route withdraw is an internal move like a pay:
+        when the destination lives on another shard it is refused with
+        the same stable code, not a misleading ``no_such_account``."""
+        from repro.runtime.registry import CommandError
+
+        payer, payee = self._accounts_on_distinct_shards(router)
+        body = AccountWithdraw(payer.public, 5, 1, "account",
+                               payee.public.to_bytes().hex())
+        with pytest.raises(CommandError) as excinfo:
+            router._route_account_request("account-withdraw", body)
+        assert excinfo.value.code == "cross_shard"
+
+    def test_same_shard_account_withdraw_routes_to_owner(self, router):
+        payer, _ = self._accounts_on_distinct_shards(router)
+        body = AccountWithdraw(payer.public, 5, 1, "account",
+                               payer.public.to_bytes().hex())
+        worker = router._route_account_request("account-withdraw", body)
+        assert worker.name == router.ring.owner(
+            "account:" + payer.public.to_bytes().hex())
+
+    def test_channel_route_withdraw_is_not_shard_checked(self, router):
+        """Channel and chain routes leave the shard by construction —
+        their destinations are channel ids / addresses, not accounts."""
+        payer, _ = self._accounts_on_distinct_shards(router)
+        body = AccountWithdraw(payer.public, 5, 1, "channel", "chan-1")
+        worker = router._route_account_request("account-withdraw", body)
+        assert worker.name == router.ring.owner(
+            "account:" + payer.public.to_bytes().hex())

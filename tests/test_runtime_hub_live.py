@@ -20,7 +20,7 @@ import pytest
 
 from repro.crypto.keys import KeyPair
 from repro.hub.client import HubClient, sign_request
-from repro.hub.messages import AccountPay
+from repro.hub.messages import AccountPay, AccountWithdraw
 from repro.load import AccountFleet, run_closed_loop, transport_drops
 from repro.obs import MetricsRegistry
 from repro.runtime.control import ControlClient, ControlError
@@ -104,6 +104,17 @@ def test_live_hub_thousand_accounts():
         assert stats["fee_bucket"] == expected_pays * HUB_FEE
         assert stats["conserved"] and stats["solvent"]
         assert stats["backing"] == backing
+
+        # A chain withdrawal the hub wallet cannot cover is refused
+        # *before* the enclave debits: stable code, nonce unconsumed,
+        # no burned balance awaiting a payout that can never happen.
+        over = sign_request(
+            AccountWithdraw(fleet.signers[1].account, 10**9, 10**6,
+                            "chain", "nowhere"),
+            fleet.signers[1].keypair.private)
+        with pytest.raises(ControlError) as excinfo:
+            hub.call("account-withdraw", request=over)
+        assert excinfo.value.code == "insufficient_funds"
 
         # A thin HubClient resyncs its nonce from the hub and spends —
         # it shares a keypair with fleet signer 0 but none of its local
@@ -229,6 +240,16 @@ def test_sharded_hub_accounts():
             payer.keypair.private)
         with pytest.raises(ControlError) as excinfo:
             control.call("account-pay", request=cross)
+        assert excinfo.value.code == "cross_shard"
+
+        # The account-route withdraw is the same internal move and gets
+        # the same refusal (not a misleading no_such_account).
+        cross_withdraw = sign_request(
+            AccountWithdraw(payer.account, 1, 10**6, "account",
+                            payee.account_hex),
+            payer.keypair.private)
+        with pytest.raises(ControlError) as excinfo:
+            control.call("account-withdraw", request=cross_withdraw)
         assert excinfo.value.code == "cross_shard"
 
         stats = control.call("account-stats")
