@@ -1,0 +1,158 @@
+"""Network-scale route discovery: bitcoin-trace replay over scale-free
+graphs (ROADMAP: decentralized route discovery + network-scale simulation).
+
+Two experiments share the `netsim_routing` sidecar:
+
+* **Planner replay** — route every payment of a
+  :mod:`repro.workloads.bitcoin_trace` slice over 1k (and, with
+  ``REPRO_NETSIM_FULL=1``, 10k) node Barabási–Albert graphs through one
+  shared :class:`~repro.routing.RoutePlanner`, measuring routing success
+  rate, mean path length, hub load concentration (transit share of the
+  top 1% of nodes), and route-cache hit rate.  This is pure routing —
+  no channel locking — so it scales to 10k nodes in seconds thanks to
+  the planner's per-source trees.
+* **DES tie-in** — a full :class:`~repro.bench.netsim.NetworkSimulation`
+  run at the 1k tier: the same planner inside the locking simulator,
+  reporting completion rate and the hub concentration of *completed*
+  transits (contention steers load off the busiest hubs, so this number
+  is the interesting one to compare against the pure replay).
+
+The paper itself stops at 30 machines (§7.4); these runs probe the
+architecture beyond it, so every row's paper target is None.
+"""
+
+import os
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.netsim import NetworkSimulation, NetworkSimulationConfig
+from repro.obs import MetricsRegistry
+from repro.routing import RoutePlanner, load_concentration, path_length
+from repro.workloads import generate_trace, scale_free_overlay
+from repro.workloads.assignment import assign_addresses_skewed
+from repro.workloads.scalefree import degree_stats
+
+from conftest import report
+
+FULL = os.environ.get("REPRO_NETSIM_FULL", "") not in ("", "0")
+TIERS = (1_000, 10_000) if FULL else (1_000,)
+PAYMENTS = 20_000
+AMOUNT_CAP = 1 << 40  # effectively uncapacitated: measure pure reachability
+
+
+def _replay(node_count: int, seed: int = 0):
+    """Route a trace slice over a scale-free graph; no locking."""
+    overlay = scale_free_overlay(node_count, attach=2, seed=seed)
+    metrics = MetricsRegistry()
+    planner = RoutePlanner.from_overlay(overlay, capacity=AMOUNT_CAP,
+                                        metrics=metrics, seed=seed)
+    trace = generate_trace(PAYMENTS, address_count=3 * node_count, seed=seed)
+    assignment = assign_addresses_skewed(
+        sorted({p.sender for p in trace} | {p.recipient for p in trace}),
+        overlay.tier_of, seed=seed,
+    )
+    routed = failed = local = 0
+    hops_total = 0
+    transits = {}
+    for payment in trace:
+        source = assignment[payment.sender]
+        target = assignment[payment.recipient]
+        if source == target:
+            local += 1
+            continue
+        route = planner.try_route(source, target, amount=payment.value)
+        if route is None:
+            failed += 1
+            continue
+        routed += 1
+        hops_total += path_length(route)
+        for node in route[1:-1]:
+            transits[node] = transits.get(node, 0) + 1
+    attempted = routed + failed
+    return {
+        "nodes": node_count,
+        "attempted": attempted,
+        "local": local,
+        "success_rate": routed / attempted if attempted else 0.0,
+        "mean_hops": hops_total / routed if routed else 0.0,
+        "hub_concentration": load_concentration(transits, 0.01),
+        "cache": planner.cache_info(),
+        "degrees": degree_stats(overlay),
+        "metrics": metrics.snapshot(),
+    }
+
+
+def test_routing_replay_scale_free(once):
+    results = []
+    rows = []
+    for tier in TIERS:
+        outcome = once(_replay, tier) if tier == TIERS[-1] else _replay(tier)
+        results.append(outcome)
+        label = f"BA n={tier} m=2"
+        rows += [
+            ExperimentResult("routing replay", label, "routing success rate",
+                             outcome["success_rate"], unit="ratio"),
+            ExperimentResult("routing replay", label, "mean path length",
+                             outcome["mean_hops"], unit="hops"),
+            ExperimentResult("routing replay", label,
+                             "top-1% hub transit share",
+                             outcome["hub_concentration"], unit="ratio"),
+            ExperimentResult(
+                "routing replay", label, "route cache hit rate",
+                outcome["cache"]["hits"]
+                / max(1, outcome["cache"]["hits"]
+                      + outcome["cache"]["misses"]),
+                unit="ratio"),
+        ]
+    report("Route discovery at network scale (scale-free replay)",
+           rows, sidecar="netsim_routing",
+           extra={"replay": results})
+
+    for outcome in results:
+        # A BA graph is connected: with capacities above every payment
+        # the planner must route essentially everything.
+        assert outcome["success_rate"] >= 0.99
+        # Scale-free routing concentrates on hubs — the phenomenon this
+        # benchmark exists to measure; ~1% of nodes should carry a
+        # grossly disproportionate share of transits.
+        assert outcome["hub_concentration"] >= 0.3
+        assert outcome["mean_hops"] >= 2.0
+        # The (source, target, amount-folded) cache must be earning its
+        # keep on a 20k-payment replay.
+        cache = outcome["cache"]
+        assert cache["hits"] + cache["misses"] >= outcome["attempted"]
+
+
+def test_routing_inside_des_at_1k(once):
+    """The same planner under channel locking: 1k nodes through the DES."""
+    overlay = scale_free_overlay(1_000, attach=2, seed=1)
+    metrics = MetricsRegistry()
+    config = NetworkSimulationConfig(
+        overlay=overlay,
+        payment_count=5_000,
+        address_count=3_000,
+        window=100,
+        max_retries=10,
+        seed=1,
+        metrics=metrics,
+    )
+    result = once(NetworkSimulation(config).run)
+    attempted = result.completed + result.failed
+    completion = result.completed / attempted if attempted else 0.0
+    concentration = load_concentration(result.transits, 0.01)
+    rows = [
+        ExperimentResult("DES 1k-node scale-free", "shortest routing",
+                         "completion rate", completion, unit="ratio"),
+        ExperimentResult("DES 1k-node scale-free", "shortest routing",
+                         "average hops", result.average_hops, unit="hops"),
+        ExperimentResult("DES 1k-node scale-free", "shortest routing",
+                         "top-1% hub transit share", concentration,
+                         unit="ratio"),
+        ExperimentResult("DES 1k-node scale-free", "shortest routing",
+                         "throughput", result.throughput, unit="payments/s"),
+    ]
+    report("Route discovery at network scale (DES, channel locking)",
+           rows, sidecar="netsim_routing_des", metrics=metrics,
+           extra={"transits_top10": dict(sorted(
+               result.transits.items(), key=lambda kv: -kv[1])[:10])})
+    assert result.completed > 0
+    assert concentration >= 0.2

@@ -8,9 +8,9 @@ correctness for every participant.
 """
 
 from repro import TeechainNetwork
-from repro.core.routing import shortest_path
 from repro.core.temporary import TemporaryChannelManager
 from repro.network.topology import Overlay
+from repro.routing import RoutePlanner
 
 
 def main() -> None:
@@ -38,8 +38,9 @@ def main() -> None:
     workload = [("spoke1", "spoke3", 5_000), ("spoke2", "spoke4", 7_500),
                 ("spoke4", "spoke1", 2_000), ("spoke3", "spoke2", 9_000)]
     nodes = {node.name: node for node in [hub] + spokes}
+    planner = RoutePlanner.from_overlay(overlay)
     for sender, recipient, amount in workload:
-        route = shortest_path(overlay, sender, recipient)
+        route = planner.find_route(sender, recipient, amount=amount)
         path_nodes = [nodes[name] for name in route]
         payment = nodes[sender].pay_multihop(path_nodes, amount)
         status = "✓" if nodes[sender].multihop_completed(payment) else "✗"

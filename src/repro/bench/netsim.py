@@ -29,12 +29,12 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence
 
 from repro.bench.calibration import Calibration
-from repro.core.routing import iter_paths_by_length, shortest_path
-from repro.errors import ReproError, RoutingError
+from repro.errors import ReproError
 from repro.network.topology import Overlay
+from repro.routing import RoutePlanner
 from repro.obs import MetricsRegistry, get_metrics, get_tracer, linear_buckets
 from repro.simulation.scheduler import Scheduler
 from repro.workloads.assignment import (
@@ -85,6 +85,10 @@ class NetworkResult:
     total_latency: float
     total_hops: int
     retries: int
+    # Completed-payment forwards per intermediate node — the raw series
+    # behind the hub-load-concentration metric (see
+    # :func:`repro.routing.load_concentration`).
+    transits: Dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -187,7 +191,13 @@ class NetworkSimulation:
         self._outstanding: Dict[str, int] = {
             node: 0 for node in overlay.nodes
         }
-        self._route_cache: Dict[Tuple[str, str, int], Optional[List[str]]] = {}
+        # The one route-selection implementation, shared with live mode.
+        # Route/tree caching (and the routing.cache_* metrics) live in
+        # the planner now.
+        self._planner = RoutePlanner.from_overlay(
+            overlay, metrics=self.metrics, seed=config.seed
+        )
+        self._transits: Dict[str, int] = {}
 
         self.completed = 0
         self.failed = 0
@@ -225,37 +235,16 @@ class NetworkSimulation:
                           * 2 * self.config.inter_node_one_way)
         return calibration.teechain_messages_per_hop * hops * per_stage
 
-    def _route(self, source: str, target: str,
-               attempt: int) -> Optional[List[str]]:
+    def _path_for(self, source: str, target: str,
+                  attempt: int) -> Optional[List[str]]:
+        """Clamp the retry attempt per the routing policy and defer to
+        the shared planner ("shortest" always takes attempt 0; "dynamic"
+        walks incrementally longer simple paths up to the limit)."""
         if self.config.routing == "shortest":
             attempt = 0
         else:
             attempt = min(attempt, self.config.dynamic_path_limit - 1)
-        key = (source, target, attempt)
-        if key not in self._route_cache:
-            if self.metrics.enabled:
-                self.metrics.inc("netsim.route_cache_misses")
-            try:
-                if self.config.routing == "shortest":
-                    path = shortest_path(self.config.overlay, source, target)
-                else:
-                    paths = list(iter_paths_by_length(
-                        self.config.overlay, source, target,
-                        limit=attempt + 1,
-                    ))
-                    # Fewer simple paths may exist than attempts made; an
-                    # empty list (source == target, or a just-connected
-                    # pair racing a RoutingError) must not IndexError.
-                    if paths:
-                        path = paths[min(attempt, len(paths) - 1)]
-                    else:
-                        path = None
-            except RoutingError:
-                path = None
-            self._route_cache[key] = path
-        elif self.metrics.enabled:
-            self.metrics.inc("netsim.route_cache_hits")
-        return self._route_cache[key]
+        return self._planner.route_for_attempt(source, target, attempt)
 
     # ------------------------------------------------------------------
     # Run
@@ -278,6 +267,7 @@ class NetworkSimulation:
             total_latency=self.total_latency,
             total_hops=self.total_hops,
             retries=self.retries,
+            transits=dict(self._transits),
         )
 
     def _fill_window(self, node: str, at: float) -> None:
@@ -321,8 +311,9 @@ class NetworkSimulation:
 
     def _attempt_multihop(self, pending: _PendingPayment) -> None:
         pending.attempts += 1
-        path = self._route(pending.sender_machine, pending.recipient_machine,
-                           pending.attempts - 1)
+        path = self._path_for(pending.sender_machine,
+                              pending.recipient_machine,
+                              pending.attempts - 1)
         if path is None:
             self._fail(pending)
             return
@@ -340,6 +331,8 @@ class NetworkSimulation:
             return
         for link in links:
             self._in_use[link] += 1
+        for node in path[1:-1]:
+            self._transits[node] = self._transits.get(node, 0) + 1
         if self.metrics.enabled:
             for link in links:
                 self.metrics.observe(

@@ -63,6 +63,7 @@ from repro.network.transport import (
     Network,
 )
 from repro.obs import get_tracer, op_span
+from repro.routing import RoutePlanner, TopologyView
 from repro.simulation.scheduler import Scheduler
 from repro.tee.attestation import AttestationService
 from repro.tee.enclave import Enclave
@@ -158,6 +159,32 @@ class TeechainNetwork:
 
     def next_payment_id(self) -> str:
         return f"mh-{next(self._payment_counter)}"
+
+    # ------------------------------------------------------------------
+    # Routing (repro.routing): the DES is omniscient, so the topology
+    # view is assembled directly from node state — live daemons build
+    # the same view from gossip instead, and both feed the same planner.
+    # ------------------------------------------------------------------
+
+    def topology_view(self) -> TopologyView:
+        """Full-knowledge view of every open channel, with directional
+        capacities taken from the channels' current balances."""
+        view = TopologyView()
+        for node in self.nodes.values():
+            for channel_id, peer in node.channels.items():
+                try:
+                    capacity, _ = node.channel_balance(channel_id)
+                except ReproError:
+                    continue  # closed or half-open channel: not routable
+                view.upsert(origin=node.name, peer=peer,
+                            channel_id=channel_id, capacity=capacity, seq=0)
+        return view
+
+    def route_planner(self, *, cost: str = "hops",
+                      seed: int = 0) -> RoutePlanner:
+        """A planner over the current topology.  The view is a snapshot:
+        callers that mutate channels should request a fresh planner."""
+        return RoutePlanner(self.topology_view(), cost=cost, seed=seed)
 
 
 class TeechainNode:
@@ -513,6 +540,40 @@ class TeechainNode:
                 self.name, hop_names[-1], amount, completed=True
             )
         return pid
+
+    def pay_to(self, dest: PeerRef, amount: int,
+               planner: Optional[RoutePlanner] = None,
+               payment_id: Optional[str] = None) -> Dict[str, object]:
+        """Pay ``dest`` wherever it is: the route is resolved through the
+        shared :class:`~repro.routing.RoutePlanner` (direct neighbours
+        pay over the channel, everyone else via ``pay_multihop``).
+
+        Raises :class:`~repro.errors.RoutingError` when no sufficiently
+        funded path exists.  Pass ``planner`` to reuse one (and its
+        caches) across many payments; by default a fresh snapshot of the
+        network is taken per call."""
+        dest_name = dest if isinstance(dest, str) else dest.name
+        if dest_name == self.name:
+            raise MultihopError("pay_to needs a destination other than self")
+        if planner is None:
+            planner = self.network.route_planner()
+        route = planner.find_route(self.name, dest_name, amount=amount)
+        if len(route) == 2:
+            candidates = [cid for cid, peer in self.channels.items()
+                          if peer == dest_name]
+
+            def spendable(cid: str) -> int:
+                try:
+                    return self.channel_balance(cid)[0]
+                except ReproError:
+                    return -1
+
+            channel_id = max(candidates, key=spendable)
+            self.pay(channel_id, amount)
+            return {"route": route, "payment_id": None, "hops": 1}
+        path = [self.network.nodes[name] for name in route]
+        pid = self.pay_multihop(path, amount, payment_id)
+        return {"route": route, "payment_id": pid, "hops": len(route) - 1}
 
     def multihop_completed(self, payment_id: str) -> bool:
         return payment_id in self.program.multihop_completed

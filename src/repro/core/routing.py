@@ -1,67 +1,51 @@
-"""Payment routing over the channel overlay.
+"""Deprecated shims over :mod:`repro.routing`.
 
-Route *discovery* is out of scope for the paper (§3 footnote: participants
-determine paths out-of-band); its evaluation nonetheless needs two
-policies, which we provide:
-
-* shortest path (§7.4, "we use the shortest possible path — if there are
-  multiple, only one is chosen"); and
-* dynamic routing (§7.4, Table 3): on payment failure, retry over
-  incrementally longer paths to route around channel-lock contention.
+Route selection moved behind :class:`repro.routing.RoutePlanner` — one
+implementation shared by the live daemons, DES multihop, and
+``bench/netsim.py``.  These wrappers keep old imports working but warn;
+new code should build a planner (``RoutePlanner.from_overlay(overlay)``)
+and hold onto it, which also gets the route/tree caches these one-shot
+helpers can't offer.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+import warnings
+from typing import Iterator, List, Optional, Sequence
 
-import networkx
-
-from repro.errors import RoutingError
 from repro.network.topology import Overlay
+from repro import routing as _routing
 
 
-def overlay_graph(overlay: Overlay) -> "networkx.Graph":
-    """Build the channel graph for an overlay."""
-    graph = networkx.Graph()
-    graph.add_nodes_from(overlay.nodes)
-    graph.add_edges_from(overlay.channels)
-    return graph
+def _warn(name: str) -> None:
+    warnings.warn(
+        f"repro.core.routing.{name} is deprecated; use "
+        f"repro.routing.RoutePlanner (or repro.routing.{name})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def overlay_graph(overlay: Overlay):
+    """Deprecated: use :func:`repro.routing.overlay_graph`."""
+    _warn("overlay_graph")
+    return _routing.overlay_graph(overlay)
 
 
 def shortest_path(overlay: Overlay, source: str, target: str) -> List[str]:
-    """The single shortest channel path from ``source`` to ``target``.
-
-    Ties are broken deterministically by networkx's BFS order, matching
-    the paper's "only one is chosen"."""
-    graph = overlay_graph(overlay)
-    try:
-        return networkx.shortest_path(graph, source, target)
-    except networkx.NetworkXNoPath as exc:
-        raise RoutingError(f"no path from {source} to {target}") from exc
-    except networkx.NodeNotFound as exc:
-        raise RoutingError(str(exc)) from exc
+    """Deprecated: use :meth:`repro.routing.RoutePlanner.find_route`."""
+    _warn("shortest_path")
+    return _routing.shortest_path(overlay, source, target)
 
 
 def iter_paths_by_length(overlay: Overlay, source: str, target: str,
                          limit: Optional[int] = None) -> Iterator[List[str]]:
-    """Simple paths from shortest to longest — the dynamic-routing retry
-    order ("each machine first tries the shortest path, before
-    incrementally trying longer paths", §7.4)."""
-    graph = overlay_graph(overlay)
-    # ``shortest_simple_paths`` is itself a generator: NetworkXNoPath /
-    # NodeNotFound surface on first *iteration*, not at the call, so the
-    # whole loop must sit inside the try or the raw networkx exception
-    # escapes to callers that only catch RoutingError.
-    try:
-        paths = networkx.shortest_simple_paths(graph, source, target)
-        for count, path in enumerate(paths):
-            if limit is not None and count >= limit:
-                return
-            yield path
-    except (networkx.NetworkXNoPath, networkx.NodeNotFound) as exc:
-        raise RoutingError(f"no path from {source} to {target}") from exc
+    """Deprecated: use :meth:`repro.routing.RoutePlanner.iter_routes`."""
+    _warn("iter_paths_by_length")
+    return _routing.iter_paths_by_length(overlay, source, target, limit=limit)
 
 
 def path_length(path: Sequence[str]) -> int:
-    """Number of hops (channels) in a node path."""
-    return max(0, len(path) - 1)
+    """Deprecated: use :func:`repro.routing.path_length`."""
+    _warn("path_length")
+    return _routing.path_length(path)

@@ -1,0 +1,181 @@
+"""Flooding engine for routing gossip.
+
+A :class:`GossipEngine` is transport-agnostic: it mints signed
+announce/update frames, applies incoming ones to its
+:class:`~repro.routing.topology.TopologyView`, and tells the caller
+whether a frame was fresh (and therefore worth re-flooding).  The live
+daemon floods frames over the existing control connections; tests drive
+engines directly through an in-memory harness.
+
+Rejection taxonomy (each with its own counter):
+
+* ``gossip.rejected_sig`` — signature does not verify;
+* ``gossip.rejected_key`` — signature verifies but the signing key
+  conflicts with the key already bound to the claimed origin (pinned
+  from an attested handshake, or trust-on-first-use from earlier
+  gossip);
+* ``gossip.updates_rejected_stale`` — sequence number at or below the
+  last applied for that (origin, channel).  Replays land here.
+* ``gossip.rejected_malformed`` — body fails
+  :func:`~repro.routing.messages.validate_gossip_body` (empty names,
+  self-loop, negative capacity/seq/fees).
+
+Accepted frames count ``gossip.announces_applied`` /
+``gossip.updates_applied``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import SignedMessage
+from repro.crypto.keys import KeyPair
+from repro.errors import MessageAuthenticationError, ReproError
+from repro.obs import MetricsRegistry, get_metrics
+from repro.routing.messages import (
+    ChannelAnnounce,
+    ChannelUpdate,
+    validate_gossip_body,
+)
+from repro.routing.topology import TopologyView
+
+
+class GossipEngine:
+    """Per-node gossip state: origin identity, sequence counter, view."""
+
+    def __init__(
+        self,
+        name: str,
+        keypair: KeyPair,
+        view: Optional[TopologyView] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.keypair = keypair
+        self.view = view if view is not None else TopologyView()
+        self._metrics = metrics if metrics is not None else get_metrics()
+        self._seq = 0
+        # Latest signed frame per (origin, channel) — re-sent to newly
+        # connected peers so late joiners converge without waiting for
+        # organic re-floods (anti-entropy).
+        self._store: Dict[Tuple[str, str], SignedMessage] = {}
+        self._counters: Dict[str, int] = {
+            "announces_applied": 0,
+            "updates_applied": 0,
+            "updates_rejected_stale": 0,
+            "rejected_sig": 0,
+            "rejected_key": 0,
+            "rejected_malformed": 0,
+        }
+        self.view.bind_key(name, keypair.public.to_bytes(), pinned=True)
+
+    # -- emitting -----------------------------------------------------
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def announce(self, channel_id: str, peer: str, capacity: int, *,
+                 fee_base: int = 0, fee_rate_ppm: int = 0) -> SignedMessage:
+        """Advertise our half of a channel; applies locally and returns
+        the signed frame to flood."""
+        body = ChannelAnnounce(
+            channel_id=channel_id, origin=self.name, peer=peer,
+            capacity=capacity, seq=self._next_seq(),
+            fee_base=fee_base, fee_rate_ppm=fee_rate_ppm,
+        )
+        return self._emit(body)
+
+    def update(self, channel_id: str, peer: str, capacity: int, *,
+               fee_base: int = 0, fee_rate_ppm: int = 0,
+               disabled: bool = False) -> SignedMessage:
+        """Advertise a change to our half (balance moved, fees changed,
+        channel settled/disabled)."""
+        body = ChannelUpdate(
+            channel_id=channel_id, origin=self.name, peer=peer,
+            capacity=capacity, seq=self._next_seq(),
+            fee_base=fee_base, fee_rate_ppm=fee_rate_ppm, disabled=disabled,
+        )
+        return self._emit(body)
+
+    def _emit(self, body) -> SignedMessage:
+        validate_gossip_body(body)  # catch local programming errors early
+        signed = SignedMessage.create(body, self.keypair.private)
+        self.view.upsert(
+            origin=body.origin, peer=body.peer, channel_id=body.channel_id,
+            capacity=body.capacity, seq=body.seq, fee_base=body.fee_base,
+            fee_rate_ppm=body.fee_rate_ppm,
+            disabled=getattr(body, "disabled", False),
+        )
+        self._store[(body.origin, body.channel_id)] = signed
+        return signed
+
+    # -- receiving ----------------------------------------------------
+
+    def handle(self, signed: SignedMessage) -> bool:
+        """Apply one incoming gossip frame.
+
+        Returns True when the frame was fresh and applied — the caller
+        should re-flood it to every peer except the one it came from.
+        False means rejected or already known; never re-flood those, or
+        a replayed frame could still propagate."""
+        body = signed.body
+        if not isinstance(body, (ChannelAnnounce, ChannelUpdate)):
+            raise ReproError(
+                f"not a gossip message: {type(body).__name__}")
+        if body.origin == self.name:
+            # Our own frame echoed back around the flood.
+            return False
+        try:
+            validate_gossip_body(body)
+        except ReproError:
+            self._reject("rejected_malformed")
+            return False
+        try:
+            signed.verify()
+        except MessageAuthenticationError:
+            self._reject("rejected_sig")
+            return False
+        key = signed.sender_key.to_bytes()
+        if not self.view.bind_key(body.origin, key):
+            # Verifies, but under a key that conflicts with the one we
+            # trust for this origin — an impersonation attempt.
+            self._reject("rejected_key")
+            return False
+        applied = self.view.upsert(
+            origin=body.origin, peer=body.peer, channel_id=body.channel_id,
+            capacity=body.capacity, seq=body.seq, fee_base=body.fee_base,
+            fee_rate_ppm=body.fee_rate_ppm,
+            disabled=getattr(body, "disabled", False),
+        )
+        if not applied:
+            self._count("updates_rejected_stale")
+            return False
+        self._store[(body.origin, body.channel_id)] = signed
+        if isinstance(body, ChannelAnnounce):
+            self._count("announces_applied")
+        else:
+            self._count("updates_applied")
+        return True
+
+    def _count(self, name: str) -> None:
+        self._counters[name] += 1
+        if self._metrics.enabled:
+            self._metrics.inc(f"gossip.{name}")
+
+    def _reject(self, name: str) -> None:
+        self._count(name)
+
+    # -- anti-entropy -------------------------------------------------
+
+    def backlog(self) -> List[SignedMessage]:
+        """Every latest frame we hold, for syncing a new peer."""
+        return list(self._store.values())
+
+    def stats(self) -> Dict[str, int]:
+        out = dict(self._counters)
+        out["seq"] = self._seq
+        out["stored_frames"] = len(self._store)
+        return out

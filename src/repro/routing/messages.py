@@ -1,0 +1,88 @@
+"""Routing-gossip messages (wire tags 58–59).
+
+The shape follows Lightning's BOLT #7 (``channel_announcement`` /
+``channel_update``) adapted to Teechain's model: every endpoint floods a
+*half* — its own directional view of a channel — rather than one jointly
+signed announcement, and an edge only becomes routable once **both**
+endpoints have announced it (see
+:class:`~repro.routing.topology.TopologyView`).  That bilateral rule is
+what replaces BOLT #7's on-chain funding proof: a single liar cannot
+conjure a usable edge to an honest node, because the honest node never
+co-announces it.
+
+Both messages ride the wire wrapped in a
+:class:`~repro.core.messages.SignedMessage` signed with the origin's
+*gossip key* (a per-boot host keypair, bound to the attested enclave
+identity for direct peers via the handshake's ``topo_key`` field, and
+trust-on-first-use for everyone further away).  Replay and reordering
+protection is the per-origin ``seq``: a receiver only applies a message
+whose sequence number is strictly greater than the last one it accepted
+from that origin for that channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ChannelAnnounce:
+    """Origin's first advertisement of a channel half.
+
+    ``capacity`` is the origin's *directional* spendable balance — how
+    much can flow origin→peer — not the channel total; Teechain channels
+    fund each direction independently (paper §5.1), so the directional
+    number is the one routing needs.
+    """
+
+    channel_id: str
+    origin: str            # the announcing endpoint (node name)
+    peer: str              # the other endpoint
+    capacity: int          # spendable origin→peer
+    seq: int               # per-origin monotonic sequence number
+    fee_base: int = 0      # flat forwarding fee charged by origin
+    fee_rate_ppm: int = 0  # proportional fee, parts per million
+
+
+@dataclass(frozen=True)
+class ChannelUpdate:
+    """A subsequent change to an announced half (balance moved, fees
+    changed, channel disabled by settlement).
+
+    Carries ``peer`` so it is self-contained: an update that overtakes
+    its announce on a different flood path still applies (BOLT #7
+    buffers instead; self-containment is simpler and loses nothing).
+    """
+
+    channel_id: str
+    origin: str
+    peer: str
+    capacity: int
+    seq: int
+    fee_base: int = 0
+    fee_rate_ppm: int = 0
+    disabled: bool = False
+
+
+GOSSIP_BODIES = (ChannelAnnounce, ChannelUpdate)
+
+
+def validate_gossip_body(body) -> None:
+    """Sanity-check a gossip body before applying it.
+
+    Wire dataclasses stay constraint-free (like the rest of the runtime
+    messages) so the codec can decode anything a peer sends; validation
+    happens here, at apply time, where a hostile frame must be handled
+    anyway.  Raises :class:`~repro.errors.ReproError` on nonsense.
+    """
+    kind = type(body).__name__
+    if not body.channel_id or not body.origin or not body.peer:
+        raise ReproError(f"{kind} needs channel_id/origin/peer")
+    if body.origin == body.peer:
+        raise ReproError("a channel cannot connect a node to itself")
+    if body.capacity < 0 or body.seq < 0:
+        raise ReproError("capacity and seq must be non-negative")
+    if body.fee_base < 0 or body.fee_rate_ppm < 0:
+        raise ReproError("fees must be non-negative")

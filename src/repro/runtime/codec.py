@@ -468,5 +468,10 @@ def _register_schema() -> None:
     register_dataclass(45, hub_messages.AccountWithdraw)
     register_dataclass(46, hub_messages.AccountQuery)
 
+    from repro.routing import messages as routing_messages
+
+    register_dataclass(58, routing_messages.ChannelAnnounce)
+    register_dataclass(59, routing_messages.ChannelUpdate)
+
 
 _register_schema()

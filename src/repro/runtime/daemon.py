@@ -55,11 +55,12 @@ from repro.blockchain.script import LockingScript
 from repro.blockchain.transaction import Transaction, build_p2pkh_transfer
 from repro.core.batching import PaymentBatcher
 from repro.core.deposits import DepositRecord
+from repro.core.messages import SignedMessage
 from repro.core.node import TeechainNetwork, TeechainNode
 from repro.core.persistence import PersistentStore
 from repro.crypto.hashing import sha256
 from repro.crypto.keys import KeyPair, PublicKey
-from repro.errors import BlockchainError, ReproError
+from repro.errors import BlockchainError, ReproError, RoutingError
 from repro.hub import messages as hub_messages
 from repro.network.secure_channel import channel_from_quote
 from repro.obs import (
@@ -90,6 +91,13 @@ from repro.runtime.registry import (
     CommandRegistry,
     Param,
     code_for_exception,
+)
+from repro.routing import (
+    ChannelAnnounce,
+    ChannelUpdate,
+    GossipEngine,
+    RoutePlanner,
+    TopologyView,
 )
 from repro.runtime.transport import AsyncTcpNetwork
 from repro.runtime.wallclock import WallClockScheduler
@@ -173,6 +181,18 @@ class NodeDaemon:
 
         self._peer_keys: Dict[str, PublicKey] = {}
         self._peer_addresses: Dict[str, str] = {}
+
+        # Routing gossip (repro.routing): a fresh per-boot gossip key —
+        # deliberately NOT the seed-derived wallet key, which anyone can
+        # recompute from the node name.  Peers pin it from the
+        # handshake's topo_key field; everyone further away is
+        # trust-on-first-use.  The planner reads the gossip-fed view and
+        # is the only route-selection code (``pay-multihop dest=``).
+        self.topology = TopologyView()
+        self.gossip = GossipEngine(name, KeyPair.generate(), self.topology,
+                                   metrics=self.metrics)
+        self.planner = RoutePlanner(self.topology, metrics=self.metrics)
+        self._announced_channels: set = set()
         self._pending_opens: Dict[str, asyncio.Event] = {}
         self._echo_futures: Dict[int, asyncio.Future] = {}
         self._echo_seq = 0
@@ -337,6 +357,7 @@ class NodeDaemon:
             settlement_address=self.node.address,
             quote=self._my_quote(),
             session=self._session_nonce,
+            topo_key=self.gossip.keypair.public.to_bytes(),
         )
 
     def _my_quote(self):
@@ -353,7 +374,7 @@ class NodeDaemon:
         return sha256(b"session:" + first + b"|" + second)
 
     def _install_peer(self, name: str, settlement_address: str, quote,
-                      session: bytes = b"") -> None:
+                      session: bytes = b"", topo_key: bytes = b"") -> None:
         salt = self._combined_session(session)
         key_bytes = quote.enclave_key.to_bytes()
         existing = self.node.program.secure_channels.get(key_bytes)
@@ -376,19 +397,26 @@ class NodeDaemon:
                 self.metrics.inc("runtime.channel_reinstalls")
         self._peer_keys[name] = quote.enclave_key
         self._peer_addresses[name] = settlement_address
+        if topo_key:
+            # The handshake rode an attested quote, so this binding
+            # outranks anything learned from flooded gossip (TOFU).
+            self.topology.bind_key(name, topo_key, pinned=True)
         self._save_host_meta()
 
     def _on_hello(self, hello: Hello) -> HelloAck:
         self._install_peer(hello.name, hello.settlement_address, hello.quote,
-                           hello.session)
+                           hello.session, hello.topo_key)
         # Dial back so we can send; a no-op if the link already exists.
         self.net.add_peer(hello.name, hello.host, hello.port)
+        self._sync_gossip(hello.name)
         return HelloAck(name=self.name, settlement_address=self.node.address,
-                        quote=self._my_quote(), session=self._session_nonce)
+                        quote=self._my_quote(), session=self._session_nonce,
+                        topo_key=self.gossip.keypair.public.to_bytes())
 
     def _on_hello_ack(self, ack: HelloAck) -> None:
         self._install_peer(ack.name, ack.settlement_address, ack.quote,
-                           ack.session)
+                           ack.session, ack.topo_key)
+        self._sync_gossip(ack.name)
 
     # ------------------------------------------------------------------
     # Blockchain replication
@@ -459,6 +487,9 @@ class NodeDaemon:
                 event.set()
         elif isinstance(obj, Echo):
             self._on_echo(obj)
+        elif (isinstance(obj, SignedMessage)
+              and isinstance(obj.body, (ChannelAnnounce, ChannelUpdate))):
+            self._on_gossip(obj, peer_name)
         else:
             logger.warning("%s: unknown control frame %s",
                            self.name, type(obj).__name__)
@@ -482,6 +513,69 @@ class NodeDaemon:
             OpenChannelOk(channel_id=request.channel_id, responder=self.name,
                           settlement_address=self.node.address),
         )
+        self._advertise_channel(request.channel_id)
+
+    # ------------------------------------------------------------------
+    # Routing gossip: flooded ChannelAnnounce/ChannelUpdate frames feed
+    # the topology view the planner routes over (DESIGN.md §13)
+    # ------------------------------------------------------------------
+
+    def _on_gossip(self, signed: SignedMessage,
+                   from_peer: Optional[str]) -> None:
+        fresh = self.gossip.handle(signed)
+        if fresh:
+            # Re-flood fresh news to everyone but its carrier.  Stale,
+            # replayed, or forged frames stop here — re-flooding them
+            # would launder a replay into continued propagation.
+            self._flood_gossip(signed, exclude=from_peer)
+
+    def _flood_gossip(self, signed: SignedMessage,
+                      exclude: Optional[str] = None) -> None:
+        for peer in self.net.peer_names():
+            if peer != exclude:
+                self.net.send_control(peer, signed)
+
+    def _sync_gossip(self, peer: str) -> None:
+        """Anti-entropy on (re)handshake: replay our stored frames to the
+        peer so late joiners and healed partitions converge without
+        waiting for organic re-floods."""
+        if not self.net.has_peer(peer):
+            return
+        for frame in self.gossip.backlog():
+            self.net.send_control(peer, frame)
+
+    def _channel_capacity(self, channel_id: str) -> int:
+        """Our directional (spendable) balance on a channel."""
+        try:
+            snapshot = self.node.program.channel_snapshot(channel_id)
+        except ReproError:
+            return 0
+        return int(snapshot["my_balance"])
+
+    def _advertise_channel(self, channel_id: str, *,
+                           disabled: bool = False) -> None:
+        """Announce (first time) or update (afterwards) our half of a
+        channel at its current capacity, and flood the frame."""
+        peer = self.node.channels.get(channel_id)
+        if peer is None or peer == self.name:
+            return
+        capacity = 0 if disabled else self._channel_capacity(channel_id)
+        if channel_id in self._announced_channels:
+            frame = self.gossip.update(channel_id, peer, capacity,
+                                       disabled=disabled)
+        else:
+            self._announced_channels.add(channel_id)
+            frame = self.gossip.announce(channel_id, peer, capacity)
+            if disabled:  # settle before any announce: disable explicitly
+                frame = self.gossip.update(channel_id, peer, 0,
+                                           disabled=True)
+        self._flood_gossip(frame)
+
+    def _resolve_route(self, dest: str, amount: int) -> List[str]:
+        try:
+            return self.planner.find_route(self.name, dest, amount=amount)
+        except RoutingError as exc:
+            raise CommandError(str(exc), code="no_route") from exc
 
     def _on_echo(self, echo: Echo) -> None:
         if not echo.reply:
@@ -635,6 +729,7 @@ class NodeDaemon:
             self._pending_opens.pop(cid, None)
         self.node.channels[cid] = peer
         self._save_host_meta()
+        self._advertise_channel(cid)
         # Barrier: the peer has processed our (now flushed) ack.
         await self._echo_round_trip(peer, timeout)
         return {"channel_id": cid, "peer": peer}
@@ -675,6 +770,9 @@ class NodeDaemon:
             )
         self.node._ecall("associate_deposit", channel_id, record.outpoint)
         await self._echo_round_trip(peer, timeout)
+        # The channel's spendable capacity changed: gossip the new number
+        # so remote planners stop excluding (or start preferring) it.
+        self._advertise_channel(channel_id)
         snapshot = self.node.program.channel_snapshot(channel_id)
         return {"channel_id": channel_id, "txid": txid,
                 "my_balance": snapshot["my_balance"],
@@ -928,20 +1026,54 @@ class NodeDaemon:
         return self.node.enclave.ecall("hub_set_fee", fee_per_pay)
 
     @COMMANDS.command(
+        "route",
+        Param("dest", doc="destination node name"),
+        Param("amount", int, required=False, default=0,
+              doc="filter out edges below this capacity (0 = ignore)"),
+        doc="Resolve a route to dest over the gossip-discovered topology "
+            "(no payment); 'no_route' when none exists yet.",
+        idempotent=True)
+    async def _cmd_route(self, dest: str, amount: int = 0) -> Dict[str, Any]:
+        route = self._resolve_route(str(dest), amount)
+        return {"dest": dest, "route": route, "hops": len(route) - 1,
+                "topology": self.topology.stats()}
+
+    @COMMANDS.command(
         "pay-multihop",
         Param("amount", int),
-        Param("path", doc="comma-separated hop names, this daemon first"),
+        Param("dest", required=False,
+              doc="destination node; the route is resolved through the "
+                  "gossip-discovered topology"),
+        Param("path", required=False,
+              doc="explicit comma-separated hop override, this daemon "
+                  "first (skips route discovery)"),
         Param("payment_id", required=False, doc="explicit id (optional)"),
-        doc="Send a multi-hop payment along a path of open channels.")
-    async def pay_multihop(self, amount: int, path: str,
+        doc="Send a multi-hop payment: give dest= to route via discovery, "
+            "or path= to force an explicit route.")
+    async def pay_multihop(self, amount: int,
+                           dest: Optional[str] = None,
+                           path: Optional[str] = None,
                            payment_id: Optional[str] = None,
                            timeout: float = 30.0) -> Dict[str, Any]:
-        hop_names = [hop.strip() for hop in str(path).split(",") if hop.strip()]
-        if len(hop_names) < 2:
-            raise CommandError("path needs at least two hop names",
-                               code="bad_request")
-        if hop_names[0] != self.name:
-            raise CommandError(f"path must start at {self.name!r}",
+        routed = False
+        if path:
+            hop_names = [hop.strip() for hop in str(path).split(",")
+                         if hop.strip()]
+            if len(hop_names) < 2:
+                raise CommandError("path needs at least two hop names",
+                                   code="bad_request")
+            if hop_names[0] != self.name:
+                raise CommandError(f"path must start at {self.name!r}",
+                                   code="bad_request")
+        elif dest:
+            hop_names = self._resolve_route(str(dest), amount)
+            if len(hop_names) < 2:
+                raise CommandError(
+                    f"{dest!r} is this daemon; nothing to pay",
+                    code="bad_request")
+            routed = True
+        else:
+            raise CommandError("need dest= (routed) or path= (explicit)",
                                code="bad_request")
         # Payment ids are minted per daemon; prefixing with our name keeps
         # them unique across the network without coordination.
@@ -954,7 +1086,8 @@ class NodeDaemon:
             timeout, f"multihop payment {pid}",
         )
         return {"payment_id": pid, "amount": amount,
-                "hops": len(hop_names) - 1, "completed": True}
+                "hops": len(hop_names) - 1, "route": hop_names,
+                "routed": routed, "completed": True}
 
     @COMMANDS.command(
         "bench-pay",
@@ -1035,6 +1168,8 @@ class NodeDaemon:
         transaction = self.node.settle(channel_id)
         if transaction is not None:
             self.network.mine()
+        # Tell the network the edge is gone before anyone routes over it.
+        self._advertise_channel(channel_id, disabled=True)
         if peer is not None:
             await self._echo_round_trip(peer)
         return {"channel_id": channel_id,
@@ -1107,6 +1242,11 @@ class NodeDaemon:
                 "batches_flushed": batcher.batches_flushed if batcher else 0,
                 "pending": batcher.pending_payments() if batcher else 0,
             },
+            "routing": {
+                "cache": self.planner.cache_info(),
+                "topology": self.topology.stats(),
+            },
+            "gossip": self.gossip.stats(),
             "fastpath": {
                 "enabled": program.fastpath_enabled,
                 "checkpoint_every": program.checkpoint_every,

@@ -42,6 +42,11 @@ class Hello:
     # from daemons with different clock epochs on one timeline.  The name
     # sorts after every older field, so version-1 frames still decode.
     t_sent: float = 0.0
+    # The sender's per-boot routing-gossip public key (compressed SEC1),
+    # pinned by the receiver so gossip claiming this origin must verify
+    # under it.  "topo_key" sorts after "t_sent" ('_' < 'o'), keeping
+    # older frames decodable.
+    topo_key: bytes = b""
 
 
 @dataclass(frozen=True)
@@ -60,6 +65,8 @@ class HelloAck:
     t_echo: float = 0.0
     t_received: float = 0.0
     t_sent: float = 0.0
+    # Responder's routing-gossip public key (see Hello.topo_key).
+    topo_key: bytes = b""
 
 
 @dataclass(frozen=True)

@@ -309,6 +309,11 @@ class AsyncTcpNetwork(BaseNetwork):
         self.backoff_cap = backoff_cap
         self.frames_received = 0
         self.bytes_received = 0
+        # Frames addressed to a name with no link and no local handler —
+        # mirrored into the runtime.no_route_drops metric, kept as a
+        # plain counter too so `stats` reports it even when the metrics
+        # registry is a no-op.
+        self.no_route_drops = 0
         # Clock used for handshake skew stamps.  The daemon points this at
         # its WallClockScheduler so handshake offsets live on the same
         # timeline as span timestamps; bare transports use monotonic time.
@@ -432,6 +437,7 @@ class AsyncTcpNetwork(BaseNetwork):
         if link is None:
             logger.warning("%s: no route to %r, dropping frame",
                            self.name, destination)
+            self.no_route_drops += 1
             if self._metrics.enabled:
                 self._metrics.inc("runtime.no_route_drops")
             return True, None
@@ -579,6 +585,7 @@ class AsyncTcpNetwork(BaseNetwork):
             "messages_suppressed": self.messages_suppressed,
             "frames_received": self.frames_received,
             "bytes_received": self.bytes_received,
+            "no_route_drops": self.no_route_drops,
             "peer_offsets": dict(self.peer_offsets),
             "peers": {
                 name: {

@@ -19,13 +19,16 @@ from repro.workloads.bitcoin_trace import (
     generate_raw_transactions,
     generate_trace,
 )
+from repro.workloads.scalefree import degree_stats, scale_free_overlay
 
 __all__ = [
     "Payment",
     "RawTransaction",
     "assign_addresses_skewed",
     "assign_addresses_uniform",
+    "degree_stats",
     "filter_for_replay",
     "generate_raw_transactions",
     "generate_trace",
+    "scale_free_overlay",
 ]

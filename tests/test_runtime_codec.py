@@ -305,11 +305,14 @@ class TestTraceHeader:
             codec.decode(empty)
 
     def test_handshake_timestamps_ride_as_trailing_defaults(self):
-        # Hello/HelloAck grew t_* fields whose names sort last, so the
-        # registry must treat them as omittable.
-        for cls, grown in ((runtime_messages.Hello, {"t_sent"}),
+        # Hello/HelloAck grew t_* timestamp fields and then the topo_key
+        # gossip-key field, all sorting last, so the registry must treat
+        # them as omittable.
+        for cls, grown in ((runtime_messages.Hello,
+                            {"t_sent", "topo_key"}),
                            (runtime_messages.HelloAck,
-                            {"t_echo", "t_received", "t_sent"})):
+                            {"t_echo", "t_received", "t_sent",
+                             "topo_key"})):
             names = sorted(f.name for f in dataclasses.fields(cls))
             assert set(names[-len(grown):]) == grown, cls.__name__
 
