@@ -147,6 +147,9 @@ class ChannelProtocol(EnclaveProgram):
         # Latest verified remote checkpoint per channel (dispute evidence:
         # a signed commitment to balances at a known sequence point).
         self._remote_checkpoints: Dict[str, ChannelCheckpoint] = {}
+        # Audit-snapshot ordering counter; not protocol state, so not in
+        # _ROLLBACK_ATTRS — a rolled-back ecall still consumed a seq.
+        self._audit_seq = 0
 
     # ------------------------------------------------------------------
     # Transactional ecalls (Alg. 3: replication ack gates state updates)
@@ -156,7 +159,7 @@ class ChannelProtocol(EnclaveProgram):
     # the rollback guard when a replication chain is attached.
     READ_ONLY_ECALLS = frozenset({
         "list_channels", "channel_snapshot", "state_snapshot",
-        "valid_settlement_txids",
+        "valid_settlement_txids", "audit_snapshot",
     })
 
     def ecall_guard(self, method, handler, args, kwargs):
@@ -1001,6 +1004,53 @@ class ChannelProtocol(EnclaveProgram):
             "payments_sent": self.payments_sent,
             "payments_received": self.payments_received,
         }
+
+    def audit_snapshot(self) -> Dict[str, Any]:
+        """One-slice audit digest for the fleet auditor (DESIGN.md §14).
+
+        Everything a cross-node conservation check needs, read in a
+        single ecall so the auditor never sees a fund movement half
+        applied: per-channel balances (terminated channels included —
+        their zeroed totals let the fleet-wide min-endpoint sum settle
+        correctly while the peer still reports the pre-settle state),
+        free-deposit value, fast-path debt, the pending replication
+        outbox, and the hub ledger summary when one is mounted.  The
+        ``seq`` counter is bookkeeping outside the rollback set: it
+        orders snapshots, it is not protocol state."""
+        self._audit_seq += 1
+        channels: Dict[str, Any] = {}
+        for cid, channel in self.channels.items():
+            channels[cid] = {
+                "is_open": channel.is_open,
+                "terminated": channel.terminated,
+                "my_balance": channel.my_balance,
+                "remote_balance": channel.remote_balance,
+                "total": channel.my_balance + channel.remote_balance,
+                "locked_amount": channel.locked_amount,
+                "fastpath_unsigned": self._fastpath_unsigned.get(cid, 0),
+            }
+        snapshot: Dict[str, Any] = {
+            "seq": self._audit_seq,
+            "channels": channels,
+            "free_deposit_value": sum(
+                record.value for record in self.deposits.values()
+                if record.is_free
+            ),
+            "payments_sent": self.payments_sent,
+            "payments_received": self.payments_received,
+            "outbox_pending": len(self._outbox),
+            "fastpath": {
+                "enabled": self.fastpath_enabled,
+                "checkpoint_every": self.checkpoint_every,
+                "unsigned_total": sum(self._fastpath_unsigned.values()),
+            },
+        }
+        # Account hub (repro.hub), when mixed in: its stats carry the
+        # local conservation/solvency verdicts computed in this same
+        # event-loop slice, so they can never race a ledger mutation.
+        if getattr(self, "hub", None) is not None:
+            snapshot["hub"] = self.hub_stats()
+        return snapshot
 
     # ------------------------------------------------------------------
     # Message dispatch

@@ -69,6 +69,14 @@ class AccountLedger:
         # External withdrawals only (channel + chain routes); internal
         # account-to-account moves conserve liabilities.
         self.withdrawn_total = 0
+        # Chain-route slice of withdrawn_total, and how much of it the
+        # host has yet to execute (authorise-then-execute leaves a
+        # window between the ledger debit and the wallet payout).  Both
+        # advance inside the withdraw ecall; ``hub_payout_done`` retires
+        # the pending amount once the payout is on chain, so an auditor
+        # can tell an in-flight payout from one the host is withholding.
+        self.withdrawn_onchain = 0
+        self.payout_pending = 0
         self.pays = 0
 
     def liabilities(self) -> int:
@@ -86,6 +94,8 @@ class AccountLedger:
             "fee_bucket": self.fee_bucket,
             "deposited_total": self.deposited_total,
             "withdrawn_total": self.withdrawn_total,
+            "withdrawn_onchain": self.withdrawn_onchain,
+            "payout_pending": self.payout_pending,
             "pays": self.pays,
         }
 
@@ -98,6 +108,8 @@ class AccountLedger:
         ledger.fee_bucket = state.get("fee_bucket", 0)
         ledger.deposited_total = state.get("deposited_total", 0)
         ledger.withdrawn_total = state.get("withdrawn_total", 0)
+        ledger.withdrawn_onchain = state.get("withdrawn_onchain", 0)
+        ledger.payout_pending = state.get("payout_pending", 0)
         ledger.pays = state.get("pays", 0)
         return ledger
 
@@ -169,6 +181,8 @@ class HubAccountsMixin:
             "fee_per_pay": self.hub.fee_per_pay,
             "deposited_total": self.hub.deposited_total,
             "withdrawn_total": self.hub.withdrawn_total,
+            "withdrawn_onchain": self.hub.withdrawn_onchain,
+            "payout_pending": self.hub.payout_pending,
             "pays": self.hub.pays,
             "liabilities": liabilities,
             "backing": backing,
@@ -217,14 +231,41 @@ class HubAccountsMixin:
                 f"refund of {amount} exceeds the {self.hub.withdrawn_total} "
                 "ever withdrawn externally — refused (a refund must "
                 "reverse a real debit, not mint liabilities)")
+        if amount > self.hub.payout_pending:
+            raise HubError(
+                f"refund of {amount} exceeds the {self.hub.payout_pending} "
+                "still pending host execution — refused (only an "
+                "unexecuted chain payout can fail and be refunded)")
         self._hub_check_conserved()
         self.hub.balances[key] += amount
         self.hub.withdrawn_total -= amount
+        self.hub.withdrawn_onchain -= amount
+        self.hub.payout_pending -= amount
         get_metrics().inc("hub.payout_refunds")
         self._replicated(
             f"hub_refund_payout:{key.hex()[:12]}:{amount}")
         return {"account": key.hex(), "amount": amount,
                 "balance": self.hub.balances[key]}
+
+    def hub_payout_done(self, amount: int) -> Dict[str, Any]:
+        """Retire a pending chain payout the host has executed.
+
+        Closes the authorise-then-execute window opened by a chain-route
+        withdrawal: the host calls back in once the wallet transaction
+        is mined, and ``payout_pending`` drops by the executed amount.
+        Pure bookkeeping for the audit plane — balances and totals are
+        untouched, so no conservation property moves — but it is what
+        lets `repro.obs` distinguish an in-flight payout (pending for
+        one sweep) from a withheld one (pending forever)."""
+        if amount <= 0:
+            raise HubError(f"payout amount must be positive, got {amount}")
+        if amount > self.hub.payout_pending:
+            raise HubError(
+                f"payout completion of {amount} exceeds the "
+                f"{self.hub.payout_pending} outstanding — refused")
+        self.hub.payout_pending -= amount
+        self._replicated(f"hub_payout_done:{amount}")
+        return {"payout_pending": self.hub.payout_pending}
 
     # ------------------------------------------------------------------
     # Verification and dispatch
@@ -409,6 +450,8 @@ class HubAccountsMixin:
             # can audit that the payout actually happened).
             self.hub.balances[key] = balance - body.amount
             self.hub.withdrawn_total += body.amount
+            self.hub.withdrawn_onchain += body.amount
+            self.hub.payout_pending += body.amount
             result["address"] = body.destination
         result["balance"] = self.hub.balances[key]
         self._hub_commit(key, body.nonce,

@@ -48,6 +48,7 @@ from repro.load.generators import (
     transport_drops,
 )
 from repro.obs import MetricsRegistry
+from repro.obs.fleet import FleetMonitorThread
 from repro.runtime.control import ControlError
 from repro.runtime.launch import HOST, launch_network
 
@@ -86,28 +87,69 @@ def _write_sidecar(name: str, experiment: str, report: LoadReport,
         extra={"load": report.to_dict(), **extra}, directory=directory)
 
 
+def _start_monitor(args: argparse.Namespace,
+                   targets: Dict[str, Any]) -> Optional[FleetMonitorThread]:
+    """Attach a FleetMonitor (own thread + loop) when ``--monitor`` is
+    set; sweeps run concurrently with whatever the caller drives."""
+    if not getattr(args, "monitor", False):
+        return None
+    return FleetMonitorThread(
+        targets, interval=args.monitor_interval).start()
+
+
+def _finish_monitor(monitored: Optional[FleetMonitorThread],
+                    failures: List[str],
+                    extra: Dict[str, Any]) -> None:
+    """Stop the monitor, fold its sidecar payload into ``extra``, and
+    turn any CRITICAL alert ever raised into a smoke failure."""
+    if monitored is None:
+        return
+    monitored.stop()
+    monitor = monitored.monitor
+    if monitor is None:
+        failures.append("fleet monitor never started")
+        return
+    extra["fleet"] = monitor.to_sidecar()
+    for alert in monitor.auditor.critical_alerts():
+        failures.append(f"CRITICAL alert {alert.code} on {alert.subject}: "
+                        f"{alert.detail}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     targets = [LoadTarget.parse(spec, amount=args.amount)
                for spec in args.target]
-    registry = MetricsRegistry()
-    report = asyncio.run(run_load(
-        targets, mode=args.mode, payments_per_target=args.count,
-        concurrency=args.concurrency, rate=args.rate,
-        duration_s=args.duration, max_inflight=args.max_inflight,
-        timeout=args.timeout, registry=registry))
     addresses = sorted({(t.host, t.port) for t in targets})
-    drops = asyncio.run(transport_drops(addresses))
+    monitored = _start_monitor(
+        args, {f"{host}:{port}": (host, port) for host, port in addresses})
+    registry = MetricsRegistry()
+    try:
+        report = asyncio.run(run_load(
+            targets, mode=args.mode, payments_per_target=args.count,
+            concurrency=args.concurrency, rate=args.rate,
+            duration_s=args.duration, max_inflight=args.max_inflight,
+            timeout=args.timeout, registry=registry))
+        drops = asyncio.run(transport_drops(addresses))
+    except BaseException:
+        if monitored is not None:
+            monitored.stop()
+        raise
+    failures: List[str] = []
+    extra: Dict[str, Any] = {"transport_drops": drops}
+    _finish_monitor(monitored, failures, extra)
     payload = {**report.to_dict(), "transport_drops": drops}
+    if "fleet" in extra:
+        payload["alerts"] = extra["fleet"]["audit"]["log"]
     print(json.dumps(payload, indent=2))
     if args.sidecar:
         path = _write_sidecar(args.sidecar, "load run", report, registry,
-                              args.sidecar_dir, {"transport_drops": drops})
+                              args.sidecar_dir, extra)
         print(f"sidecar: {path}", file=sys.stderr)
     if args.fail_on_drops and drops["protocol"]:
-        print(f"FAIL: {drops['protocol']} protocol-plane frame(s) dropped",
-              file=sys.stderr)
-        return 1
-    return 0
+        failures.append(
+            f"{drops['protocol']} protocol-plane frame(s) dropped")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _poll(predicate, timeout: float = 30.0, interval: float = 0.05,
@@ -130,6 +172,9 @@ def _smoke_channel(args: argparse.Namespace) -> int:
     handles, _ = launch_network({"alice": GENESIS, "bob": GENESIS})
     alice = handles["alice"].control
     bob = handles["bob"].control
+    failures: List[str] = []
+    monitor_extra: Dict[str, Any] = {}
+    monitored = None
     try:
         channel_id = alice.call("open-channel", peer="bob")["channel_id"]
         for client, peer in ((alice, "bob"), (bob, "alice")):
@@ -144,6 +189,13 @@ def _smoke_channel(args: argparse.Namespace) -> int:
 
         _poll(lambda: funded(alice) and funded(bob),
               what="both deposits visible on both daemons")
+
+        # Audit plane: sweep the fleet concurrently with the load and
+        # through settlement; any CRITICAL alert fails the smoke.
+        monitored = _start_monitor(args, {
+            "alice": (HOST, handles["alice"].control_port),
+            "bob": (HOST, handles["bob"].control_port),
+        })
 
         targets = [
             LoadTarget(HOST, handles["alice"].control_port, channel_id,
@@ -181,7 +233,11 @@ def _smoke_channel(args: argparse.Namespace) -> int:
               what="bob's chain replica to include the settlement")
         balance_a = alice.call("balance")["onchain"]
         balance_b = bob.call("balance")["onchain"]
+        _finish_monitor(monitored, failures, monitor_extra)
+        monitored = None
     finally:
+        if monitored is not None:
+            monitored.stop()
         for handle in handles.values():
             handle.shutdown()
 
@@ -196,12 +252,11 @@ def _smoke_channel(args: argparse.Namespace) -> int:
     path = _write_sidecar(
         "load", "load smoke", report, registry, args.sidecar_dir,
         {"transport_drops": drops, "conservation": conservation,
-         "settlement": settlement})
+         "settlement": settlement, **monitor_extra})
     print(json.dumps({**report.to_dict(), "transport_drops": drops,
                       "conservation": conservation}, indent=2))
     print(f"sidecar: {path}", file=sys.stderr)
 
-    failures: List[str] = []
     if drops["protocol"]:
         failures.append(
             f"{drops['protocol']} protocol-plane frame(s) dropped")
@@ -238,6 +293,8 @@ def _smoke_account(args: argparse.Namespace) -> int:
     hub = handles["hub"].control
     alice = handles["alice"].control
     failures: List[str] = []
+    monitor_extra: Dict[str, Any] = {}
+    monitored = None
     try:
         channels = {}
         for peer in ("alice", "bob"):
@@ -254,6 +311,10 @@ def _smoke_account(args: argparse.Namespace) -> int:
                 == DEPOSIT for cid in channels.values())
 
         _poll(backed, what="hub deposits to associate on both channels")
+        monitored = _start_monitor(args, {
+            name: (HOST, handle.control_port)
+            for name, handle in handles.items()
+        })
         backing = len(channels) * DEPOSIT
         per_account = backing // accounts
         if per_account <= 0:
@@ -345,7 +406,11 @@ def _smoke_account(args: argparse.Namespace) -> int:
               == GENESIS + withdrawal,
               what="settlement to pay alice's wallet")
         balance_alice = alice.call("balance")["onchain"]
+        _finish_monitor(monitored, failures, monitor_extra)
+        monitored = None
     finally:
+        if monitored is not None:
+            monitored.stop()
         for handle in handles.values():
             handle.shutdown()
 
@@ -376,7 +441,8 @@ def _smoke_account(args: argparse.Namespace) -> int:
         args.sidecar_dir,
         {"transport_drops": drops, "conservation": conservation,
          "hub_counters": {k: v for k, v in counters.items()
-                          if k.startswith("hub.")}})
+                          if k.startswith("hub.")},
+         **monitor_extra})
     print(json.dumps({**report.to_dict(), "transport_drops": drops,
                       "conservation": conservation}, indent=2))
     print(f"sidecar: {path}", file=sys.stderr)
@@ -420,6 +486,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--sidecar-dir", default=None)
     run.add_argument("--fail-on-drops", action="store_true",
                      help="exit nonzero on protocol-plane transport drops")
+    run.add_argument("--monitor", action="store_true",
+                     help="attach a FleetMonitor during the run; any "
+                          "CRITICAL invariant alert exits nonzero")
+    run.add_argument("--monitor-interval", type=float, default=0.25,
+                     help="seconds between monitor sweeps (default 0.25)")
     run.set_defaults(func=_cmd_run)
 
     smoke = sub.add_parser(
@@ -437,6 +508,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     smoke.add_argument("--sidecar-dir", default=None,
                        help="where BENCH_load[_hub].json goes "
                             "(default: cwd)")
+    smoke.add_argument("--monitor", action="store_true",
+                       help="audit invariants concurrently with the "
+                            "load; any CRITICAL alert fails the smoke")
+    smoke.add_argument("--monitor-interval", type=float, default=0.25,
+                       help="seconds between monitor sweeps "
+                            "(default 0.25)")
     smoke.set_defaults(func=_cmd_smoke)
 
     args = parser.parse_args(argv)

@@ -27,15 +27,28 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Tuple
 
+from repro.obs.audit import (
+    ALERT_CODES,
+    CRITICAL,
+    WARN,
+    Alert,
+    InvariantAuditor,
+)
 from repro.obs.context import TraceContext, new_span_id, new_trace_id
 from repro.obs.export import (
     build_payload,
     chrome_trace,
     dump_json,
     export_json,
+    fleet_prometheus_text,
     load_json,
     prometheus_text,
 )
+
+# NOTE: FleetMonitor lives in repro.obs.fleet and is imported from there
+# directly — it pulls in repro.runtime (the control client), which this
+# package must not import at init time (runtime's codec imports
+# repro.obs.context back).
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     NOOP,
@@ -84,6 +97,12 @@ __all__ = [
     "export_json",
     "load_json",
     "prometheus_text",
+    "fleet_prometheus_text",
+    "Alert",
+    "InvariantAuditor",
+    "ALERT_CODES",
+    "WARN",
+    "CRITICAL",
 ]
 
 _metrics: MetricsRegistry = NOOP

@@ -912,7 +912,7 @@ class NodeDaemon:
         ecall the debit would stand with no payout, no txid, and no
         reconciliation path."""
         try:
-            return self._chain_payout(address, amount)
+            txid = self._chain_payout(address, amount)
         except Exception as exc:
             self.node.enclave.ecall("hub_refund_payout", account_hex,
                                     amount)
@@ -921,6 +921,11 @@ class NodeDaemon:
                 "the account balance was re-credited — the nonce stays "
                 "consumed, retry with a fresh one",
                 code="payout_failed") from exc
+        # Retire the authorise-then-execute window (outside the
+        # try/except: a failure *here* must not trigger a refund of a
+        # payout that did execute — that would mint the amount twice).
+        self.node.enclave.ecall("hub_payout_done", amount)
+        return txid
 
     @COMMANDS.command(
         "account-open",
@@ -1288,6 +1293,43 @@ class NodeDaemon:
         idempotent=True)
     async def _cmd_metrics_prom(self) -> Dict[str, Any]:
         return {"text": prometheus_text(self.metrics.snapshot())}
+
+    @COMMANDS.command(
+        "audit-snapshot",
+        doc="Atomic audit digest for the fleet auditor: channel "
+            "balances, free deposits, hub ledger verdicts, on-chain "
+            "balance, and transport pressure, read in one event-loop "
+            "slice so it never races a fund movement.",
+        idempotent=True)
+    async def _cmd_audit_snapshot(self) -> Dict[str, Any]:
+        # No await between the ecall and the host-side reads: command
+        # handlers run to completion inside one event-loop slice, so a
+        # concurrent pay on another connection is either fully applied
+        # before this line or not started until after the return.
+        snapshot = self.node.enclave.ecall("audit_snapshot")
+        peers = self.net.stats()["peers"]
+        snapshot.update({
+            "name": self.name,
+            "onchain": self.node.onchain_balance(),
+            "chain_height": self.network.chain.height,
+            "mempool": self.network.chain.mempool_size(),
+            "checkpoint_ms": self.checkpoint_ms,
+            "transport": {
+                "peers": len(peers),
+                "disconnected": sum(
+                    1 for link in peers.values() if not link["connected"]),
+                "queued": sum(link["queued"] for link in peers.values()),
+                "reconnects": sum(
+                    link["reconnects"] for link in peers.values()),
+                "backpressure_waits": sum(
+                    link["backpressure_waits"] for link in peers.values()),
+                "drops_protocol": sum(
+                    link["drops_protocol"] for link in peers.values()),
+                "drops_control": sum(
+                    link["drops_control"] for link in peers.values()),
+            },
+        })
+        return snapshot
 
     @COMMANDS.command(
         "health",

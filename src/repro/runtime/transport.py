@@ -256,6 +256,11 @@ class _PeerLink:
         scratch, so the link heals itself after the backoff — a sever
         models a transient network cut, not a removed peer."""
         self.connected.clear()
+        # A sever is a link-down-then-redial event like any other; count
+        # it, or transient cuts are invisible to stats and the auditor.
+        self.reconnects += 1
+        if self.network._metrics.enabled:
+            self.network._metrics.inc("runtime.reconnects")
         if self.task is not None:
             self.task.cancel()
         self.start()

@@ -96,7 +96,7 @@ class ShardedDaemon:
                            "reclaim", "hub-fee"})
     #: Fan out and merge into one pool-wide answer.
     AGGREGATE = frozenset({"stats", "metrics", "balance", "health",
-                           "account-stats"})
+                           "account-stats", "audit-snapshot"})
 
     def __init__(
         self,
@@ -434,7 +434,8 @@ class ShardedDaemon:
         if cmd == "account-stats":
             summed = {}
             for key in ("accounts", "total_balance", "fee_bucket",
-                        "deposited_total", "withdrawn_total", "pays",
+                        "deposited_total", "withdrawn_total",
+                        "withdrawn_onchain", "payout_pending", "pays",
                         "liabilities", "backing"):
                 summed[key] = sum(r["hub"][key] for r in responses.values())
             summed["fee_per_pay"] = max(
@@ -453,7 +454,75 @@ class ShardedDaemon:
                     "channels": len(self._channel_worker),
                     "peers": len(self._peer_worker),
                     "workers": responses}
+        if cmd == "audit-snapshot":
+            return self._aggregate_audit(responses)
         return {"workers": responses}
+
+    def _aggregate_audit(self, responses: Dict[str, Any]) -> Dict[str, Any]:
+        """Merge per-worker audit snapshots into one fleet-facing digest.
+
+        Each worker snapshot is individually atomic; a payment lives
+        entirely inside the worker owning its channel, so the merged
+        channel map (ownership is disjoint) and summed totals preserve
+        the per-slice conservation guarantees — the cross-worker skew
+        is the same benign skew the auditor already absorbs between
+        daemons."""
+        workers = list(responses.values())
+        channels: Dict[str, Any] = {}
+        for response in workers:
+            channels.update(response.get("channels", {}))
+        merged: Dict[str, Any] = {
+            "name": self.name,
+            # Sum of per-worker seqs: monotonic across aggregate scrapes
+            # as long as each worker's counter is.
+            "seq": sum(r.get("seq", 0) for r in workers),
+            "channels": channels,
+            "free_deposit_value": sum(
+                r.get("free_deposit_value", 0) for r in workers),
+            "payments_sent": sum(r.get("payments_sent", 0)
+                                 for r in workers),
+            "payments_received": sum(r.get("payments_received", 0)
+                                     for r in workers),
+            "outbox_pending": sum(r.get("outbox_pending", 0)
+                                  for r in workers),
+            "onchain": sum(r.get("onchain", 0) for r in workers),
+            "chain_height": max(r.get("chain_height", 0) for r in workers),
+            "mempool": max(r.get("mempool", 0) for r in workers),
+            "checkpoint_ms": max(r.get("checkpoint_ms", 0)
+                                 for r in workers),
+            "fastpath": {
+                "enabled": any(r.get("fastpath", {}).get("enabled")
+                               for r in workers),
+                "checkpoint_every": max(
+                    r.get("fastpath", {}).get("checkpoint_every", 0)
+                    for r in workers),
+                "unsigned_total": sum(
+                    r.get("fastpath", {}).get("unsigned_total", 0)
+                    for r in workers),
+            },
+            "transport": {
+                key: sum(r.get("transport", {}).get(key, 0)
+                         for r in workers)
+                for key in ("peers", "disconnected", "queued",
+                            "reconnects", "backpressure_waits",
+                            "drops_protocol", "drops_control")
+            },
+            "workers": responses,
+        }
+        hubs = [r["hub"] for r in workers if "hub" in r]
+        if hubs:
+            hub: Dict[str, Any] = {
+                key: sum(h[key] for h in hubs)
+                for key in ("accounts", "total_balance", "fee_bucket",
+                            "deposited_total", "withdrawn_total",
+                            "withdrawn_onchain", "payout_pending",
+                            "pays", "liabilities", "backing")
+            }
+            hub["fee_per_pay"] = max(h["fee_per_pay"] for h in hubs)
+            hub["conserved"] = all(h["conserved"] for h in hubs)
+            hub["solvent"] = all(h["solvent"] for h in hubs)
+            merged["hub"] = hub
+        return merged
 
     def _help_table(self) -> List[Dict[str, str]]:
         rows = [
