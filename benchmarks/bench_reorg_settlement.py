@@ -1,0 +1,70 @@
+"""Reorg-vs-settlement sweep: orphaned-settlement recovery cost, archived.
+
+For each reorg depth the sweep runs the ``settlement_reorg`` chain cell —
+a full two-party channel lifecycle whose on-chain settlement is orphaned
+by a depth-``d`` reorg, automatically re-broadcast from the mempool, and
+re-confirmed on the winning branch — and records the invariant verdicts
+plus wall-clock cost.  The double-spend-at-fork and fee-spike-deferral
+cells ride along so the CI artifact carries the whole chain-realism
+matrix in one sidecar, ``BENCH_reorg_settlement.json``.
+
+There is no paper column: Teechain assumes the blockchain interface is a
+safe abstraction (§2.2) and reports no reorg numbers.  The ``measured``
+values are coverage counts and recovery cost, tracked release-over-release.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.faults import (
+    run_deposit_double_spend_fork_cell,
+    run_fee_spike_deferral_cell,
+    run_settlement_reorg_cell,
+)
+
+from conftest import report
+
+pytestmark = pytest.mark.chaos
+
+REORG_DEPTHS = (1, 2, 3)
+
+
+def test_reorg_settlement_sweep():
+    results = []
+    cells = []
+    for depth in REORG_DEPTHS:
+        started = time.perf_counter()
+        cell = run_settlement_reorg_cell(depth=depth)
+        elapsed = time.perf_counter() - started
+        cells.append(cell)
+        results.append(ExperimentResult(
+            "reorg settlement", f"depth-{depth} reorg", "re-confirmed",
+            cell.details.get("confirmations", 0), None, "confs"))
+        results.append(ExperimentResult(
+            "reorg settlement", f"depth-{depth} reorg", "wall clock",
+            elapsed, None, "s"))
+
+    for runner in (run_deposit_double_spend_fork_cell,
+                   run_fee_spike_deferral_cell):
+        started = time.perf_counter()
+        cell = runner()
+        elapsed = time.perf_counter() - started
+        cells.append(cell)
+        results.append(ExperimentResult(
+            "chain realism", cell.name, "wall clock", elapsed, None, "s"))
+
+    passed = sum(1 for cell in cells if cell.ok)
+    results.insert(0, ExperimentResult(
+        "chain realism", "cells passed", "coverage",
+        passed, len(cells), "cells"))
+
+    report(
+        "Reorg settlement sweep (orphan re-broadcast + fee market cells)",
+        results,
+        sidecar="reorg_settlement",
+        extra={"cells": [cell.to_dict() for cell in cells]},
+    )
+    failing = [cell for cell in cells if not cell.ok]
+    assert not failing, [(cell.name, cell.violations) for cell in failing]

@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
-from repro.blockchain.chain import Blockchain
+from repro.blockchain.chain import Blockchain, ReorgEvent
 from repro.blockchain.transaction import Transaction
 from repro.errors import BlockchainError
 from repro.simulation.scheduler import Scheduler
@@ -64,16 +64,35 @@ class WriteAdversary:
 
 @dataclass
 class BroadcastReceipt:
-    """Tracks one broadcast's fate."""
+    """Tracks one broadcast's fate.
+
+    Receipts are fork-aware: a delivered transaction can later be
+    *orphaned* by a reorg (``orphaned_at`` set, confirmations back to 0),
+    after which the client automatically re-broadcasts it through the same
+    adversarial write path (``rebroadcasts`` counts attempts).  A receipt
+    whose transaction re-confirms on the winning branch reads as delivered
+    again."""
 
     txid: str
     submitted_at: float
     delivered_at: Optional[float] = None
     rejected: Optional[str] = None  # error message if the chain refused it
+    orphaned_at: Optional[float] = None  # last time a reorg evicted it
+    rebroadcasts: int = 0
 
     @property
     def delivered(self) -> bool:
         return self.delivered_at is not None and self.rejected is None
+
+    @property
+    def orphaned(self) -> bool:
+        """Evicted by a reorg and not yet re-delivered.
+
+        Eviction clears ``delivered_at`` (the confirmation is undone) so
+        the state is explicit rather than inferred from clock order — in
+        a discrete-event run eviction and delivery can share a timestamp.
+        """
+        return self.orphaned_at is not None and self.delivered_at is None
 
 
 class AsyncBlockchainClient:
@@ -95,7 +114,10 @@ class AsyncBlockchainClient:
         self.scheduler = scheduler
         self.adversary = adversary or WriteAdversary(base_delay=0.0)
         self.receipts: List[BroadcastReceipt] = []
+        self._receipts_by_txid: Dict[str, BroadcastReceipt] = {}
+        self._broadcasted: Dict[str, Transaction] = {}
         self.reads_blocked = False
+        chain.subscribe_reorg(self._on_reorg)
 
     # -- writes ---------------------------------------------------------
 
@@ -111,19 +133,50 @@ class AsyncBlockchainClient:
         txid = transaction.txid
         receipt = BroadcastReceipt(txid=txid, submitted_at=self.scheduler.now)
         self.receipts.append(receipt)
+        self._receipts_by_txid[txid] = receipt
+        self._broadcasted[txid] = transaction
+        self._schedule_delivery(transaction, receipt)
+        return receipt
+
+    def _schedule_delivery(
+        self, transaction: Transaction, receipt: BroadcastReceipt
+    ) -> None:
+        txid = transaction.txid
         if self.adversary.is_censored(txid):
-            return receipt  # silently dropped; receipt never delivers
+            return  # silently dropped; receipt never delivers
         delay = self.adversary.delay_for(txid)
 
         def deliver() -> None:
+            # Re-check censorship at delivery: the paper's §2.2 adversary
+            # can suppress a transaction at *any* point, including between
+            # broadcast and mempool arrival.
+            if self.adversary.is_censored(txid):
+                return
             receipt.delivered_at = self.scheduler.now
+            receipt.rejected = None
             try:
                 self.chain.submit(transaction)
             except BlockchainError as exc:
                 receipt.rejected = str(exc)
 
         self.scheduler.call_after(delay, deliver)
-        return receipt
+
+    def _on_reorg(self, event: ReorgEvent) -> None:
+        """A reorg evicted confirmed transactions: mark our receipts
+        orphaned and re-broadcast through the same adversarial path."""
+        for transaction in event.evicted:
+            receipt = self._receipts_by_txid.get(transaction.txid)
+            if receipt is None:
+                continue
+            receipt.orphaned_at = self.scheduler.now
+            receipt.delivered_at = None  # confirmations undone
+            receipt.rebroadcasts += 1
+            self._schedule_delivery(transaction, receipt)
+        for txid in event.dropped:
+            receipt = self._receipts_by_txid.get(txid)
+            if receipt is not None:
+                receipt.orphaned_at = self.scheduler.now
+                receipt.rejected = "evicted by reorg; conflicts with new branch"
 
     # -- reads ----------------------------------------------------------
 
@@ -143,6 +196,11 @@ class AsyncBlockchainClient:
         self._check_readable()
         return self.chain.balance(address)
 
+    def feerate_estimate(self, limit: Optional[int] = None) -> float:
+        """Marginal feerate to enter the next block (eclipse-aware read)."""
+        self._check_readable()
+        return self.chain.feerate_estimate(limit)
+
     def wait_for_confirmations(
         self, txid: str, depth: int, callback: Callable[[], None],
         poll_interval: float = 10.0,
@@ -151,11 +209,22 @@ class AsyncBlockchainClient:
 
         Polling, not push: a light client watching block arrivals.  The
         callback never fires for a censored transaction — which is exactly
-        the asynchrony Teechain must (and does) survive.
+        the asynchrony Teechain must (and does) survive.  Polls go through
+        the public read path: an eclipsed client cannot observe the chain,
+        so a mid-poll eclipse makes the poll reschedule (and resume once
+        the eclipse lifts) rather than leak a read or raise into the
+        scheduler.
         """
 
         def poll() -> None:
-            if self.chain.confirmations(txid) >= depth:
+            try:
+                confirmed = self.confirmations(txid) >= depth
+            except BlockchainError:
+                # Eclipsed: no view of the chain right now.  Keep polling —
+                # the answer arrives when reads recover.
+                self.scheduler.call_after(poll_interval, poll)
+                return
+            if confirmed:
                 callback()
             else:
                 self.scheduler.call_after(poll_interval, poll)

@@ -73,6 +73,11 @@ class Transaction:
     is_coinbase: bool = False
     # Disambiguates otherwise-identical coinbases (no inputs to differ on).
     nonce: int = 0
+    # For coinbases only: the part of this coinbase's output value that is
+    # *claimed fees* rather than newly minted money.  Conservation checks
+    # (``Blockchain.total_minted``) subtract it, so fees move value without
+    # creating it.  Zero for every non-coinbase transaction.
+    fee_claim: int = 0
 
     def __post_init__(self) -> None:
         if self.is_coinbase:
@@ -80,6 +85,11 @@ class Transaction:
                 raise InvalidTransaction("coinbase transactions take no inputs")
         elif not self.inputs:
             raise InvalidTransaction("non-coinbase transaction needs inputs")
+        if self.fee_claim:
+            if not self.is_coinbase:
+                raise InvalidTransaction("only a coinbase can claim fees")
+            if self.fee_claim < 0:
+                raise InvalidTransaction(f"negative fee claim {self.fee_claim}")
         if not self.outputs:
             raise InvalidTransaction("transaction needs at least one output")
         seen = set()
@@ -94,6 +104,8 @@ class Transaction:
         """Serialisation without witnesses — basis of txid and sighash."""
         parts = [b"coinbase" if self.is_coinbase else b"tx",
                  struct.pack(">Q", self.nonce)]
+        if self.fee_claim:
+            parts.append(b"fees" + struct.pack(">Q", self.fee_claim))
         parts.extend(tx_input.serialize_outpoint() for tx_input in self.inputs)
         parts.extend(output.serialize() for output in self.outputs)
         return b"\x1f".join(parts)
@@ -106,6 +118,16 @@ class Transaction:
     def sighash(self) -> bytes:
         """SIGHASH_ALL digest every input signature commits to."""
         return sha256d(b"sighash-all:" + self._skeleton())
+
+    @property
+    def vsize(self) -> int:
+        """Deterministic virtual size (bytes of the witnessless skeleton).
+
+        The fee market prices transactions in value-per-vsize; using the
+        skeleton keeps the size independent of how many committee members
+        have signed so far, so feerate estimates made before signing hold
+        after."""
+        return len(self._skeleton())
 
     def outpoint(self, index: int) -> OutPoint:
         """The :class:`OutPoint` referencing this transaction's ``index``-th
@@ -152,10 +174,16 @@ class Transaction:
         )
 
 
-def make_coinbase(script: LockingScript, value: int, nonce: int = 0) -> Transaction:
-    """Mint ``value`` into ``script`` (simulation bootstrap only)."""
+def make_coinbase(script: LockingScript, value: int, nonce: int = 0,
+                  fee_claim: int = 0) -> Transaction:
+    """Mint ``value`` into ``script``.
+
+    With ``fee_claim == 0`` this is simulation bootstrap (endowments);
+    with ``fee_claim == value`` it is a fee-collection coinbase that moves
+    already-existing value to the miner without minting anything new."""
     return Transaction(
-        inputs=(), outputs=(TxOutput(value, script),), is_coinbase=True, nonce=nonce
+        inputs=(), outputs=(TxOutput(value, script),), is_coinbase=True,
+        nonce=nonce, fee_claim=fee_claim,
     )
 
 
@@ -169,8 +197,8 @@ def build_p2pkh_transfer(
     ``source_outpoints`` are ``(outpoint, value)`` pairs all locked to
     ``signing_key``'s address; ``destinations`` are ``(address, value)``
     pairs.  Any difference between input and output value is an implicit
-    fee (the miner model ignores fees; the builder still refuses to
-    overspend)."""
+    fee, bid to miners through the mempool's feerate ordering (the
+    builder still refuses to overspend)."""
     total_in = sum(value for _, value in source_outpoints)
     total_out = sum(value for _, value in destinations)
     if total_out > total_in:

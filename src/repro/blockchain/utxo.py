@@ -38,7 +38,9 @@ class UTXOSet:
 
     def __init__(self) -> None:
         self._unspent: Dict[OutPoint, UTXOEntry] = {}
-        self._spent: Dict[OutPoint, str] = {}  # outpoint -> spending txid
+        # outpoint -> (spending txid, the entry as it was when spent) — the
+        # entry is kept so a reorg can restore it verbatim on unwind.
+        self._spent: Dict[OutPoint, Tuple[str, UTXOEntry]] = {}
         self._by_address: Dict[str, set] = {}
 
     def __len__(self) -> int:
@@ -54,13 +56,14 @@ class UTXOSet:
             return entry
         if outpoint in self._spent:
             raise DoubleSpend(
-                f"{outpoint} already spent by {self._spent[outpoint][:12]}…"
+                f"{outpoint} already spent by {self._spent[outpoint][0][:12]}…"
             )
         raise UnknownOutput(f"{outpoint} does not exist")
 
     def spender_of(self, outpoint: OutPoint) -> Optional[str]:
         """txid that spent ``outpoint``, or ``None`` if unspent/unknown."""
-        return self._spent.get(outpoint)
+        spent = self._spent.get(outpoint)
+        return spent[0] if spent is not None else None
 
     def apply_transaction(self, transaction: Transaction, height: int) -> None:
         """Atomically consume inputs and add outputs.
@@ -72,13 +75,39 @@ class UTXOSet:
             self.get(outpoint)  # raises on double spend / unknown
         for outpoint in transaction.spent_outpoints():
             entry = self._unspent.pop(outpoint)
-            self._spent[outpoint] = transaction.txid
+            self._spent[outpoint] = (transaction.txid, entry)
             self._by_address[entry.script.destination()].discard(outpoint)
         for index, output in enumerate(transaction.outputs):
             outpoint = transaction.outpoint(index)
             entry = UTXOEntry(outpoint, output, height)
             self._unspent[outpoint] = entry
             self._by_address.setdefault(output.script.destination(), set()).add(
+                outpoint
+            )
+
+    def unapply_transaction(self, transaction: Transaction) -> None:
+        """Reverse :meth:`apply_transaction` (reorg unwind).
+
+        Only valid when ``transaction``'s outputs are still unspent — the
+        chain unwinds blocks tip-first and transactions within a block in
+        reverse, so that always holds."""
+        for index in range(len(transaction.outputs)):
+            outpoint = transaction.outpoint(index)
+            entry = self._unspent.pop(outpoint, None)
+            if entry is None:
+                raise DoubleSpend(
+                    f"cannot unwind {outpoint}: output already spent downstream"
+                )
+            self._by_address[entry.script.destination()].discard(outpoint)
+        for outpoint in transaction.spent_outpoints():
+            spender, entry = self._spent.pop(outpoint)
+            if spender != transaction.txid:
+                raise DoubleSpend(
+                    f"cannot unwind {outpoint}: spent by {spender[:12]}… not "
+                    f"{transaction.txid[:12]}…"
+                )
+            self._unspent[outpoint] = entry
+            self._by_address.setdefault(entry.script.destination(), set()).add(
                 outpoint
             )
 

@@ -139,6 +139,12 @@ class ChannelProtocol(EnclaveProgram):
         # affecting reconfiguration — see _flush_checkpoint).
         self.fastpath_enabled = False
         self.checkpoint_every = 64
+        # On-chain fee policy: value per vsize byte charged against the
+        # payouts of every settlement this enclave constructs.  Both
+        # endpoints of a channel must run the same policy or their
+        # settlement txids (and PoPT candidates) diverge; the default 0.0
+        # keeps all txids identical to the feeless protocol.
+        self.settlement_feerate = 0.0
         # Per channel: MAC-only payments sent since the last checkpoint.
         self._fastpath_unsigned: Dict[str, int] = {}
         # Per channel: checkpoint counters (ours sent / theirs accepted).
@@ -186,6 +192,7 @@ class ChannelProtocol(EnclaveProgram):
         "pending_candidate_txids", "retired_sessions",
         "_fastpath_unsigned", "_checkpoint_index_out",
         "_checkpoint_index_in", "_remote_checkpoints",
+        "settlement_feerate",
     )
 
     def _rollback_snapshot(self):
@@ -746,6 +753,21 @@ class ChannelProtocol(EnclaveProgram):
         return {"enabled": self.fastpath_enabled,
                 "checkpoint_every": self.checkpoint_every}
 
+    def set_fee_policy(self, feerate: float) -> Dict[str, Any]:
+        """Configure the on-chain settlement fee policy.
+
+        ``feerate`` is value per vsize byte; it applies to every settlement
+        this enclave constructs from now on (unilateral, eject, and
+        multi-hop PoPT candidates).  Operators must configure matching
+        policies on both endpoints of a channel — fee-paying settlements
+        are part of the txid, so mismatched policies break PoPT candidate
+        agreement."""
+        if feerate < 0:
+            raise SettlementError(f"feerate must be >= 0, got {feerate}")
+        self.settlement_feerate = float(feerate)
+        self._replicated(f"fee_policy:{feerate}")
+        return {"settlement_feerate": self.settlement_feerate}
+
     def checkpoint(self, channel_id: str) -> bool:
         """Emit the deferred state signature for one channel.
 
@@ -912,6 +934,7 @@ class ChannelProtocol(EnclaveProgram):
             channel,
             deposits_of=self.deposits,
             provider=self._signing_provider(),
+            feerate=self.settlement_feerate,
         )
         self._finalize_settlement(channel, transaction)
         return transaction
@@ -1147,8 +1170,9 @@ def _valid_settlement_txids(program: "ChannelProtocol") -> Set[str]:
     for channels inside a multi-hop payment — the recorded pre/post
     candidates and τ.  Committee members refuse to co-sign anything outside
     this set (the Byzantine-TEE defence of §6.1)."""
-    from repro.core.settlement import build_unsigned_settlement
+    from repro.core.settlement import build_unsigned_settlement, settlement_fee
 
+    feerate = getattr(program, "settlement_feerate", 0.0)
     txids: Set[str] = set()
     for channel in program.channels.values():
         if not channel.is_open or channel.terminated:
@@ -1164,13 +1188,14 @@ def _valid_settlement_txids(program: "ChannelProtocol") -> Set[str]:
         if not known or not records:
             continue
         if channel.capacity > 0:
+            payouts = [
+                (channel.my_settlement_address, channel.my_balance),
+                (channel.remote_settlement_address, channel.remote_balance),
+            ]
             unsigned = build_unsigned_settlement(
                 records,
-                payouts=[
-                    (channel.my_settlement_address, channel.my_balance),
-                    (channel.remote_settlement_address,
-                     channel.remote_balance),
-                ],
+                payouts=payouts,
+                fee=settlement_fee(records, payouts, feerate),
             )
             txids.add(unsigned.txid)
     for pending in program.pending_candidate_txids.values():
@@ -1229,6 +1254,12 @@ def _replication_blob(program: "ChannelProtocol") -> bytes:
             "index_out": dict(program._checkpoint_index_out),
             "index_in": dict(program._checkpoint_index_in),
             "remote_checkpoints": dict(program._remote_checkpoints),
+        },
+        # Fee policy: a recovering or backup enclave must settle with the
+        # same feerate or its settlement txids fall outside the committee's
+        # valid set.
+        "fee_policy": {
+            "settlement_feerate": getattr(program, "settlement_feerate", 0.0),
         },
         # In-flight multi-hop sessions (absent on bare ChannelProtocol
         # programs): a restored/recovering enclave must be able to eject

@@ -46,6 +46,10 @@ class DepositRecord:
     # committee can sign), so its local record carries a placeholder spec —
     # this field preserves the real address for signature routing.
     multisig_address: Optional[str] = None
+    # On-chain fee the funding transaction paid to get mined (the wallet
+    # covered ``value + fee``).  Recorded so the Table-4 cost model can
+    # fold fees into the cost of placing a deposit.
+    fee: int = 0
 
     def __post_init__(self) -> None:
         if self.value <= 0:

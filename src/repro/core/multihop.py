@@ -49,6 +49,7 @@ from repro.core.settlement import (
     build_channel_settlement,
     build_tau_from_components,
     build_unsigned_settlement,
+    settlement_fee,
     sign_settlement,
 )
 from repro.core.state import ChannelState, MultihopStage
@@ -169,16 +170,26 @@ class MultihopMixin:
         party pays on this channel."""
         records = [self.deposits[outpoint]
                    for outpoint in sorted(channel.all_deposits())]
-        pre = build_unsigned_settlement(records, [
+        # Candidates carry the same fee policy as unilateral settlement:
+        # the transaction eventually observed on chain must be txid-
+        # identical to a recorded candidate, fee included.
+        feerate = getattr(self, "settlement_feerate", 0.0)
+        pre_payouts = [
             (channel.my_settlement_address, channel.my_balance),
             (channel.remote_settlement_address, channel.remote_balance),
-        ])
+        ]
+        pre = build_unsigned_settlement(
+            records, pre_payouts,
+            fee=settlement_fee(records, pre_payouts, feerate))
         delta = -amount if outgoing else amount
-        post = build_unsigned_settlement(records, [
+        post_payouts = [
             (channel.my_settlement_address, channel.my_balance + delta),
             (channel.remote_settlement_address,
              channel.remote_balance - delta),
-        ])
+        ]
+        post = build_unsigned_settlement(
+            records, post_payouts,
+            fee=settlement_fee(records, post_payouts, feerate))
         return pre, post, records
 
     def _channel_snapshot_settlements(

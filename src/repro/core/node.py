@@ -48,6 +48,7 @@ from repro.core.replication import CommitteeMemberProgram, ReplicationChain
 from repro.crypto.keys import KeyPair
 from repro.crypto.multisig import MultisigSpec
 from repro.errors import (
+    DepositError,
     EnclaveCrashed,
     InsufficientFunds,
     MultihopError,
@@ -407,13 +408,19 @@ class TeechainNode:
             f"{self.name} holds {total} on chain, needs {amount}"
         )
 
-    def create_deposit(self, value: int, confirm: bool = True) -> DepositRecord:
+    def create_deposit(self, value: int, confirm: bool = True,
+                       fee: int = 0) -> DepositRecord:
         """Create a fund deposit: spend ``value`` from the wallet into a
         TEE-controlled multisig output and register it with the enclave.
 
         Uses the node's committee (m-of-n) when one is attached, otherwise
         a 1-of-1 enclave key (Alg. 1).  With ``confirm`` a block is mined
-        so the deposit is immediately approvable."""
+        so the deposit is immediately approvable.  ``fee`` is the on-chain
+        fee the funding transaction offers the miner: the wallet covers
+        ``value + fee`` and the fee is recorded on the deposit for cost
+        accounting."""
+        if fee < 0:
+            raise DepositError(f"negative deposit fee {fee}")
         if self.committee is not None:
             spec = self.committee.new_deposit_spec()
             committee_names = self.committee.member_names()
@@ -422,9 +429,9 @@ class TeechainNode:
             _address, public = self._ecall("new_deposit_address")
             spec = MultisigSpec(1, (public,))
             committee_names = ()
-        sources, total = self._wallet_outpoints(value)
+        sources, total = self._wallet_outpoints(value + fee)
         outputs = [TxOutput(value, LockingScript.pay_to_multisig(spec))]
-        change = total - value
+        change = total - value - fee
         if change > 0:
             outputs.append(
                 TxOutput(change, LockingScript.pay_to_address(self.address))
@@ -444,7 +451,7 @@ class TeechainNode:
             self.network.mine()
         record = DepositRecord(
             outpoint=funding.outpoint(0), value=value, spec=spec,
-            committee=committee_names,
+            committee=committee_names, fee=fee,
         )
         self._ecall("register_deposit", record)
         self.deposits.append(record)

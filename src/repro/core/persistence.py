@@ -129,6 +129,10 @@ def restore_program_state(program: ChannelProtocol,
     fastpath = state.get("fastpath", {})
     program.fastpath_enabled = fastpath.get("enabled", False)
     program.checkpoint_every = fastpath.get("checkpoint_every", 64)
+    # Settlement fee policy (absent in pre-fee blobs: default is feeless,
+    # matching what those enclaves were settling with).
+    fee_policy = state.get("fee_policy", {})
+    program.settlement_feerate = fee_policy.get("settlement_feerate", 0.0)
     program._fastpath_unsigned = dict(fastpath.get("unsigned", {}))
     program._checkpoint_index_out = dict(fastpath.get("index_out", {}))
     program._checkpoint_index_in = dict(fastpath.get("index_in", {}))

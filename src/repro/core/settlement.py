@@ -79,24 +79,84 @@ def _payout_outputs(payouts: Sequence[Tuple[str, int]]) -> Tuple[TxOutput, ...]:
     return outputs
 
 
+def apply_fee(
+    payouts: Sequence[Tuple[str, int]], fee: int
+) -> List[Tuple[str, int]]:
+    """Deduct an on-chain fee from ``payouts``, deterministically.
+
+    The fee is split proportionally to payout value (integer floor); the
+    remainder is charged one unit at a time to the largest payouts first,
+    ties broken by address order.  Determinism matters: both endpoints of a
+    channel must derive the identical fee-paying settlement (same txid)
+    from their own state, or PoPT candidate txids would never match."""
+    if fee < 0:
+        raise SettlementError(f"negative fee {fee}")
+    if fee == 0:
+        return list(payouts)
+    total = sum(value for _, value in payouts)
+    if fee >= total:
+        raise SettlementError(
+            f"fee ({fee}) would swallow the entire payout ({total})"
+        )
+    shares = {
+        address: fee * value // total
+        for address, value in payouts
+    }
+    remainder = fee - sum(shares.values())
+    for address, value in sorted(payouts, key=lambda p: (-p[1], p[0])):
+        if remainder == 0:
+            break
+        if value - shares[address] > 0:
+            shares[address] += 1
+            remainder -= 1
+    if remainder:
+        raise SettlementError("fee remainder could not be distributed")
+    return [
+        (address, value - shares[address]) for address, value in payouts
+    ]
+
+
 def build_unsigned_settlement(
     deposits: Sequence[DepositRecord],
     payouts: Sequence[Tuple[str, int]],
+    fee: int = 0,
 ) -> Transaction:
-    """Unsigned transaction spending ``deposits`` into ``payouts``."""
+    """Unsigned transaction spending ``deposits`` into ``payouts``.
+
+    ``fee`` is left unclaimed by the outputs (``inputs − outputs``) for the
+    miner to collect — see :func:`apply_fee` for how it is charged against
+    the payouts."""
     if not deposits:
         raise SettlementError("settlement needs at least one deposit")
     total_in = sum(deposit.value for deposit in deposits)
-    total_out = sum(value for _, value in payouts)
-    if total_out > total_in:
+    charged = apply_fee(payouts, fee)
+    total_out = sum(value for _, value in charged)
+    if total_out + fee > total_in:
         raise SettlementError(
-            f"payouts ({total_out}) exceed deposit value ({total_in})"
+            f"payouts ({total_out}) plus fee ({fee}) exceed deposit "
+            f"value ({total_in})"
         )
     inputs = tuple(
         TxInput(deposit.outpoint)
         for deposit in sorted(deposits, key=lambda d: d.outpoint)
     )
-    return Transaction(inputs=inputs, outputs=_payout_outputs(payouts))
+    return Transaction(inputs=inputs, outputs=_payout_outputs(charged))
+
+
+def settlement_fee(
+    deposits: Sequence[DepositRecord],
+    payouts: Sequence[Tuple[str, int]],
+    feerate: float,
+) -> int:
+    """Fee for settling ``deposits`` into ``payouts`` at ``feerate``
+    (value per vsize byte), sized off the feeless settlement skeleton.
+
+    Deterministic in its arguments, so endpoints configured with the same
+    fee policy derive the same fee — and therefore the same txid."""
+    if feerate <= 0:
+        return 0
+    unsigned = build_unsigned_settlement(deposits, payouts)
+    return int(round(feerate * unsigned.vsize))
 
 
 def sign_settlement(
@@ -127,12 +187,15 @@ def build_channel_settlement(
     provider: SigningProvider,
     my_balance: Optional[int] = None,
     remote_balance: Optional[int] = None,
+    feerate: float = 0.0,
 ) -> Transaction:
     """Signed settlement of one channel at the given balances.
 
     Balances default to the channel's current state; the multi-hop code
     passes explicit pre-/post-payment balances when snapshotting PoPT
-    candidates.
+    candidates.  ``feerate > 0`` charges an on-chain fee against the
+    payouts (:func:`settlement_fee`); both endpoints must run the same fee
+    policy for their settlement txids to agree.
     """
     deposit_records = [
         deposits_of[outpoint] for outpoint in sorted(channel.all_deposits())
@@ -141,13 +204,12 @@ def build_channel_settlement(
         my_balance = channel.my_balance
     if remote_balance is None:
         remote_balance = channel.remote_balance
-    unsigned = build_unsigned_settlement(
-        deposit_records,
-        payouts=[
-            (channel.my_settlement_address, my_balance),
-            (channel.remote_settlement_address, remote_balance),
-        ],
-    )
+    payouts = [
+        (channel.my_settlement_address, my_balance),
+        (channel.remote_settlement_address, remote_balance),
+    ]
+    fee = settlement_fee(deposit_records, payouts, feerate)
+    unsigned = build_unsigned_settlement(deposit_records, payouts, fee=fee)
     return sign_settlement(unsigned, deposit_records, provider)
 
 

@@ -393,6 +393,7 @@ def encoded_size(obj: Any) -> Optional[int]:
 # 50–69 runtime control plane (repro.runtime.messages).  Append only.
 
 def _register_schema() -> None:
+    from repro.blockchain.chain import Block
     from repro.blockchain.script import LockingScript, Witness
     from repro.blockchain.transaction import (
         OutPoint,
@@ -435,6 +436,7 @@ def _register_schema() -> None:
     register_dataclass(8, TxInput)
     register_dataclass(9, Transaction)
     register_dataclass(10, Quote)
+    register_dataclass(12, Block)
     register_dataclass(11, m.SignedMessage)
 
     register_dataclass(20, m.NewChannelAck)

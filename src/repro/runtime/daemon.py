@@ -10,8 +10,14 @@ versions of everything the simulator provided for free:
   channels are derived without both enclaves in one process;
 * **the blockchain** — every daemon holds a replica of the simulated
   chain, made identical by construction (deterministic genesis from the
-  shared ``--fund`` allocation) and kept identical by gossip
-  (:class:`ChainTx` on submit, :class:`ChainMine` on block);
+  shared ``--fund`` allocation) and *converged* by gossip: transactions
+  flood as :class:`ChainTx`, mined blocks flood as full
+  :class:`ChainBlock` bodies, and a daemon that receives a block it
+  cannot attach walks the sender's hash chain backwards with
+  :class:`ChainRequest` until the histories connect — two daemons that
+  mine concurrently genuinely fork, then heaviest-chain fork choice
+  reorganises the loser, returning its evicted settlements to the
+  mempool where the submit-gossip path re-broadcasts them;
 * **a control plane** — a line-JSON TCP API (one request object per
   line, one response per line) driven by the CLI, tests, and benchmarks.
   Commands are declared once in a typed registry
@@ -75,7 +81,9 @@ from repro.obs import (
 )
 from repro.obs.collector import TelemetryCollector
 from repro.runtime.messages import (
+    ChainBlock,
     ChainMine,
+    ChainRequest,
     ChainTx,
     Echo,
     Hello,
@@ -168,6 +176,9 @@ class NodeDaemon:
             transport=self.net, scheduler=self.scheduler, chain=chain
         )
         self.node: TeechainNode = self.network.create_node(name)
+        # After genesis (which every daemon must mine byte-identically):
+        # blocks mined *here* pay their fees to this daemon's wallet.
+        chain.fee_address = self.node.address
         for participant, amount in self.allocations.items():
             self.network.tracker.register(participant, amount)
 
@@ -233,6 +244,7 @@ class NodeDaemon:
         self.net.control_handler = self._on_control
         chain.subscribe_submit(self._gossip_submit)
         chain.subscribe(self._gossip_block)
+        chain.subscribe_reorg(self._on_reorg)
 
     # ------------------------------------------------------------------
     # Stable storage
@@ -433,10 +445,7 @@ class NodeDaemon:
         self._save_host_meta()
         if self._applying_remote:
             return
-        announcement = ChainMine(
-            txids=tuple(tx.txid for tx in block.transactions),
-            height=block.height,
-        )
+        announcement = ChainBlock(block=block)
         for peer in self.net.peer_names():
             self.net.send_control(peer, announcement)
 
@@ -446,27 +455,64 @@ class NodeDaemon:
             self.network.chain.submit(transaction)
         except BlockchainError as exc:
             # A conflicting local transaction won the race; real mempools
-            # disagree transiently too.  The mine announcement reconciles.
+            # disagree transiently too.  Block gossip reconciles.
             logger.warning("%s: rejected gossiped tx %s: %s",
                            self.name, transaction.txid[:12], exc)
         finally:
             self._applying_remote = False
 
-    def _apply_remote_mine(self, announcement: ChainMine) -> None:
+    def _apply_remote_block(self, block, peer_name: Optional[str]) -> None:
+        """Attach a gossiped block body; fork choice reconciles.
+
+        Deliberately *not* run under ``_applying_remote``: connecting a
+        peer's branch can reorganise our active chain, and the evicted
+        transactions the chain returns to the mempool must re-gossip (the
+        orphan re-broadcast path) — the block itself never echoes because
+        only locally mined blocks fire the block listeners."""
         chain = self.network.chain
-        confirmed = all(chain.contains(txid) for txid in announcement.txids)
-        if confirmed and chain.height >= announcement.height:
-            return  # concurrent local mine already covered this block
-        self._applying_remote = True
         try:
-            chain.mine_block(timestamp=self.scheduler.now)
-        finally:
-            self._applying_remote = False
-        missing = [txid for txid in announcement.txids
-                   if not chain.contains(txid)]
-        if missing:
-            logger.warning("%s: chain divergence — %d announced txids "
-                           "missing after mine", self.name, len(missing))
+            status = chain.receive_block(block)
+        except BlockchainError as exc:
+            logger.warning("%s: rejected gossiped block %s: %s",
+                           self.name, block.block_hash[:12], exc)
+            return
+        if status == "orphan" and peer_name is not None:
+            # Hash-chain reconciliation: walk the sender's history
+            # backwards until our chains connect.
+            self.net.send_control(
+                peer_name, ChainRequest(block_hash=block.previous_hash))
+        if status == "connected":
+            self._save_host_meta()
+
+    def _on_chain_request(self, request: ChainRequest,
+                          peer_name: Optional[str]) -> None:
+        if peer_name is None:
+            return
+        block = self.network.chain.block_by_hash(request.block_hash)
+        if block is not None:
+            self.net.send_control(peer_name, ChainBlock(block=block))
+        else:
+            logger.warning("%s: peer %s requested unknown block %s",
+                           self.name, peer_name, request.block_hash[:12])
+
+    def _send_chain_tip(self, peer: str) -> None:
+        """Offer our tip to a peer (handshake / heal anti-entropy): if the
+        peer's chain is behind or forked it orphan-requests backwards
+        until the histories connect and fork choice converges them."""
+        chain = self.network.chain
+        if chain.height > 1 and self.net.has_peer(peer):
+            self.net.send_control(peer, ChainBlock(block=chain.blocks[-1]))
+
+    def _on_reorg(self, event) -> None:
+        if self.metrics.enabled:
+            self.metrics.inc("chain.reorgs")
+            self.metrics.inc("chain.orphaned_txs",
+                             len(event.evicted) + len(event.dropped))
+        logger.info(
+            "%s: reorg depth=%d (%s → %s): %d txs returned to mempool, "
+            "%d dropped", self.name, event.depth, event.old_tip[:12],
+            event.new_tip[:12], len(event.evicted), len(event.dropped),
+        )
 
     # ------------------------------------------------------------------
     # Control-plane frames from peers
@@ -475,8 +521,17 @@ class NodeDaemon:
     def _on_control(self, obj: Any, peer_name: Optional[str]) -> None:
         if isinstance(obj, ChainTx):
             self._apply_remote_tx(obj.transaction)
+        elif isinstance(obj, ChainBlock):
+            self._apply_remote_block(obj.block, peer_name)
+        elif isinstance(obj, ChainRequest):
+            self._on_chain_request(obj, peer_name)
         elif isinstance(obj, ChainMine):
-            self._apply_remote_mine(obj)
+            # Legacy txid-only announcement (pre block-body gossip): a
+            # modern chain cannot reconstruct the block from txids alone,
+            # and blindly mining locally is exactly the divergence bug
+            # this frame was retired for.  Ignore; tip sync reconciles.
+            logger.warning("%s: ignoring legacy ChainMine from %s "
+                           "(height %d)", self.name, peer_name, obj.height)
         elif isinstance(obj, OpenChannel):
             self._on_open_channel(obj)
         elif isinstance(obj, OpenChannelOk):
@@ -543,6 +598,10 @@ class NodeDaemon:
             return
         for frame in self.gossip.backlog():
             self.net.send_control(peer, frame)
+        # Chain anti-entropy rides the same (re)handshake: blocks mined
+        # during a partition never re-flood organically, so offer our tip
+        # and let hash-chain reconciliation pull whatever is missing.
+        self._send_chain_tip(peer)
 
     def _channel_capacity(self, channel_id: str) -> int:
         """Our directional (spendable) balance on a channel."""
@@ -1176,7 +1235,16 @@ class NodeDaemon:
         # Tell the network the edge is gone before anyone routes over it.
         self._advertise_channel(channel_id, disabled=True)
         if peer is not None:
-            await self._echo_round_trip(peer)
+            # Best-effort FIFO barrier: confirm the peer processed the
+            # SettleNotify.  A partitioned peer cannot answer, and must
+            # not block the settlement — it is unilateral by design; the
+            # peer reconciles from the chain when the partition heals.
+            try:
+                await self._echo_round_trip(peer, timeout=5.0)
+            except asyncio.TimeoutError:
+                logger.warning("%s: peer %s unreachable during settle of "
+                               "%s; proceeding unilaterally",
+                               self.name, peer, channel_id)
         return {"channel_id": channel_id,
                 "txid": transaction.txid if transaction else None,
                 "offchain": transaction is None}
@@ -1201,8 +1269,45 @@ class NodeDaemon:
 
     @COMMANDS.command("mine", doc="Mine the mempool into a block.")
     async def _cmd_mine(self) -> Dict[str, Any]:
+        chain = self.network.chain
         self.network.mine()
-        return {"height": self.network.chain.height}
+        return {"height": chain.height,
+                "tip": chain.tip_hash,
+                "fees_collected": chain.fees_collected()}
+
+    @COMMANDS.command(
+        "chain-sync",
+        doc="Offer our chain tip to every connected peer (anti-entropy "
+            "after a partition heals: forked peers request our history "
+            "backwards until fork choice converges).")
+    async def _cmd_chain_sync(self) -> Dict[str, Any]:
+        peers = list(self.net.peer_names())
+        for peer in peers:
+            self._send_chain_tip(peer)
+        chain = self.network.chain
+        return {"offered_to": peers,
+                "height": chain.height,
+                "tip": chain.tip_hash}
+
+    @COMMANDS.command(
+        "fee-policy",
+        Param("feerate", float),
+        Param("limit", int, required=False),
+        doc="Set the settlement feerate (value per vsize byte; sealed "
+            "enclave state — both channel endpoints must agree or their "
+            "settlement txids diverge) and optionally the local block "
+            "size limit that makes the fee market bind.")
+    async def _cmd_fee_policy(self, feerate: float,
+                              limit: Optional[int] = None) -> Dict[str, Any]:
+        result = self.node.enclave.ecall("set_fee_policy", feerate)
+        if limit is not None:
+            if limit <= 0:
+                raise CommandError("limit must be positive")
+            self.network.chain.block_limit = limit
+        return {"feerate": result["settlement_feerate"],
+                "block_limit": self.network.chain.block_limit,
+                "feerate_estimate": self.network.chain.feerate_estimate(
+                    self.network.chain.block_limit or 10)}
 
     @COMMANDS.command("balance", doc="On-chain balance of this node.",
                       idempotent=True)
@@ -1237,7 +1342,12 @@ class NodeDaemon:
             "name": self.name,
             "transport": self.net.stats(),
             "chain": {"height": self.network.chain.height,
-                      "mempool": self.network.chain.mempool_size()},
+                      "tip": self.network.chain.tip_hash,
+                      "mempool": self.network.chain.mempool_size(),
+                      "reorgs": self.network.chain.reorg_count,
+                      "orphaned_txs": self.network.chain.orphaned_tx_count,
+                      "fees_collected": self.network.chain.fees_collected(),
+                      "block_limit": self.network.chain.block_limit},
             "payments": {"sent": self.node.program.payments_sent,
                          "received": self.node.program.payments_received},
             "batching": {

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.blockchain.chain import Block
 from repro.blockchain.transaction import Transaction
 from repro.runtime import codec
 from repro.tee.attestation import Quote
@@ -116,13 +117,36 @@ class ChainTx:
 
 @dataclass(frozen=True)
 class ChainMine:
-    """Block gossip: the sender mined a block containing ``txids``.
-
-    Every daemon applies the same mine against its own mempool replica;
-    txids are carried for a divergence check, not for state transfer."""
+    """Legacy block gossip (pre-fork-choice): the sender mined a block of
+    ``txids`` and every daemon re-mined its own mempool replica, merely
+    warning on divergence.  Superseded by :class:`ChainBlock`, which
+    carries the block body so replicas converge by hash-chain
+    reconciliation instead of hope; kept registered so old frames still
+    decode (receivers ignore them with a warning)."""
 
     txids: Tuple[str, ...]
     height: int
+
+
+@dataclass(frozen=True)
+class ChainBlock:
+    """Block-body gossip: the sender's chain accepted ``block``.
+
+    The receiver attaches it with ``Blockchain.receive_block`` — fork
+    choice decides whether it extends, forks, or reorganises the local
+    active chain.  When the parent is unknown the receiver answers with a
+    :class:`ChainRequest` for it, walking the sender's chain backwards
+    until the histories connect."""
+
+    block: Block
+
+
+@dataclass(frozen=True)
+class ChainRequest:
+    """Ask a peer for the block body with ``block_hash`` (orphan
+    resolution during hash-chain reconciliation)."""
+
+    block_hash: str
 
 
 @dataclass(frozen=True)
@@ -145,3 +169,5 @@ codec.register_dataclass(54, OpenChannelOk)
 codec.register_dataclass(55, ChainTx)
 codec.register_dataclass(56, ChainMine)
 codec.register_dataclass(57, Echo)
+codec.register_dataclass(60, ChainBlock)
+codec.register_dataclass(61, ChainRequest)

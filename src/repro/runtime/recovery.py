@@ -105,23 +105,37 @@ ChainSnapshot = Dict[str, Any]
 
 
 def chain_snapshot(chain: Blockchain) -> ChainSnapshot:
-    """The chain as plain data: every post-genesis block plus the
-    mempool.  Genesis is excluded — it is rebuilt deterministically from
-    the funding allocations all daemons share."""
-    blocks: List[Tuple[int, float, Tuple[Transaction, ...]]] = [
-        (block.height, block.timestamp, block.transactions)
-        for block in chain.blocks[1:]
-    ]
-    return {"blocks": blocks, "mempool": list(chain._mempool)}
+    """The chain as plain data: every post-genesis active-chain block
+    (full :class:`Block` bodies — fork choice, fee coinbases, and block
+    identity must survive a restart byte-exact) plus the mempool.
+    Genesis is excluded — it is rebuilt deterministically from the
+    funding allocations all daemons share.
+
+    Legacy note: pre-fork snapshots stored ``(height, timestamp, txs)``
+    tuples; :func:`replay_chain` still accepts them."""
+    return {
+        "blocks": list(chain.blocks[1:]),
+        "mempool": list(chain._mempool),
+    }
 
 
 def replay_chain(chain: Blockchain, snapshot: ChainSnapshot) -> None:
-    """Rebuild chain state by re-submitting and re-mining each block in
-    order.  Must run before gossip listeners are subscribed (replay is
-    local history, not news)."""
-    for _height, timestamp, transactions in snapshot.get("blocks", []):
-        for transaction in transactions:
-            chain.submit(transaction)
-        chain.mine_block(timestamp=timestamp)
+    """Rebuild chain state by re-attaching each stored block in order
+    (hash-chain linkage re-validates on connect).  Must run before gossip
+    listeners are subscribed (replay is local history, not news)."""
+    for stored in snapshot.get("blocks", []):
+        if isinstance(stored, tuple):
+            # Legacy tuple snapshot: re-mine from the transactions.
+            _height, timestamp, transactions = stored
+            for transaction in transactions:
+                chain.submit(transaction)
+            chain.mine_block(timestamp=timestamp)
+        else:
+            chain.receive_block(stored)
     for transaction in snapshot.get("mempool", []):
-        chain.submit(transaction)
+        try:
+            chain.submit(transaction)
+        except Exception:  # noqa: BLE001 — mempool entries may have been
+            # confirmed by the replayed blocks or invalidated; replay is
+            # best-effort for the queue, exact for the chain.
+            continue

@@ -118,3 +118,66 @@ def test_wait_never_fires_for_censored_tx(setup):
     chain.mine_block()
     scheduler.run(until=1_000.0)
     assert not fired
+
+
+def test_censorship_imposed_after_broadcast_still_suppresses(setup):
+    # §2.2: the adversary can suppress a transaction at *any* point.
+    # Regression: censorship used to be checked only at broadcast time,
+    # so censoring during the propagation window leaked the delivery.
+    scheduler, chain, adversary, client, tx = setup
+    receipt = client.broadcast(tx)
+    adversary.censor(tx.txid)  # after broadcast, before mempool arrival
+    scheduler.run()
+    assert not receipt.delivered
+    assert chain.mempool_size() == 0
+
+
+def test_mid_poll_eclipse_suspends_confirmation_watch(setup):
+    # Regression: the confirmation poll used to read the chain object
+    # directly, bypassing the eclipse check — an eclipsed client would
+    # keep observing confirmations it could not actually see.
+    scheduler, chain, _, client, tx = setup
+    fired = []
+    client.broadcast(tx)
+    client.wait_for_confirmations(tx.txid, depth=1,
+                                  callback=lambda: fired.append(1))
+    scheduler.run(until=5.0)
+    client.reads_blocked = True
+    chain.mine_block()  # confirmed on chain, but we cannot see it
+    scheduler.run(until=100.0)
+    assert not fired
+    client.reads_blocked = False  # eclipse lifts; the poll resumes
+    scheduler.run(until=200.0)
+    assert fired
+
+
+def test_feerate_estimate_blocked_when_eclipsed(setup):
+    _, _, _, client, _ = setup
+    client.reads_blocked = True
+    with pytest.raises(BlockchainError):
+        client.feerate_estimate(limit=1)
+
+
+def test_reorg_marks_receipt_orphaned_and_rebroadcasts(setup):
+    scheduler, chain, _, client, tx = setup
+    receipt = client.broadcast(tx)
+    scheduler.run()
+    fork_parent = chain.tip_hash
+    chain.mine_block(timestamp=scheduler.now)
+    assert receipt.delivered and chain.contains(tx.txid)
+
+    # A competing two-block branch from below the tx's block wins.
+    rival = chain.mine_block(timestamp=scheduler.now, parent=fork_parent,
+                             transactions=())
+    chain.mine_block(timestamp=scheduler.now,
+                     parent=rival.block_hash, transactions=())
+    assert chain.confirmations(tx.txid) == 0
+    assert receipt.orphaned
+    assert receipt.rebroadcasts == 1
+
+    # The automatic re-broadcast re-delivers; mining re-confirms it.
+    scheduler.run()
+    chain.mine_block(timestamp=scheduler.now)
+    assert chain.confirmations(tx.txid) == 1
+    assert receipt.delivered
+    assert not receipt.orphaned

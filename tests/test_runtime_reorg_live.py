@@ -1,0 +1,129 @@
+"""Live two-daemon fork: a settlement orphaned by a reorg must survive.
+
+The acceptance test for chain realism in the runtime: two daemons
+partition (blackholed links), both keep mining — a genuine fork, now that
+blocks gossip as full bodies instead of blind local re-mines.  The side
+carrying a *fee-paying settlement* loses a depth-2 reorg when the
+partition heals; the evicted settlement must return to the mempool,
+re-gossip automatically, and confirm on the winning branch — with every
+unit of value, fees included, accounted for at the end.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime.launch import launch_network
+
+GENESIS = 200_000
+DEPOSIT = 60_000
+ROUNDS = 20
+A_TO_B, B_TO_A = 7, 3
+FEERATE = 0.25  # value per vsize byte; both endpoints must agree
+
+ALICE_CHANNEL = DEPOSIT - ROUNDS * A_TO_B + ROUNDS * B_TO_A
+BOB_CHANNEL = DEPOSIT + ROUNDS * A_TO_B - ROUNDS * B_TO_A
+
+
+def _poll(predicate, timeout=20.0, interval=0.05, what="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            pytest.fail(f"timed out waiting for {what}")
+        time.sleep(interval)
+
+
+@pytest.mark.live
+def test_settlement_survives_depth_two_reorg():
+    handles, _ = launch_network({"alice": GENESIS, "bob": GENESIS})
+    alice = handles["alice"].control
+    bob = handles["bob"].control
+    try:
+        channel_id = alice.call("open-channel", peer="bob")["channel_id"]
+        for client, peer in ((alice, "bob"), (bob, "alice")):
+            deposit = client.call("deposit", value=DEPOSIT)
+            client.call("approve-associate", peer=peer,
+                        channel_id=channel_id, txid=deposit["txid"])
+            assert client.call("fee-policy", feerate=FEERATE)["feerate"] == \
+                FEERATE
+
+        def funded(client):
+            snapshot = client.call("channel", channel_id=channel_id)
+            return (snapshot["my_balance"] == DEPOSIT
+                    and snapshot["remote_balance"] == DEPOSIT)
+
+        _poll(lambda: funded(alice) and funded(bob),
+              what="both deposits visible on both daemons")
+
+        for _ in range(ROUNDS):
+            alice.call("pay", channel_id=channel_id, amount=A_TO_B)
+            bob.call("pay", channel_id=channel_id, amount=B_TO_A)
+
+        def balanced(client, mine, theirs):
+            snapshot = client.call("channel", channel_id=channel_id)
+            return (snapshot["my_balance"] == mine
+                    and snapshot["remote_balance"] == theirs)
+
+        _poll(lambda: balanced(alice, ALICE_CHANNEL, BOB_CHANNEL)
+              and balanced(bob, BOB_CHANNEL, ALICE_CHANNEL),
+              what="channel balances to converge")
+
+        # Partition: both sides drop all frames toward the other.
+        alice.call("fault", action="blackhole", peer="bob")
+        bob.call("fault", action="blackhole", peer="alice")
+
+        # Alice settles into her own branch and extends it once more; her
+        # two blocks (settlement + empty) will both be unwound.
+        settlement = alice.call("settle", channel_id=channel_id)
+        assert settlement["txid"] is not None and not settlement["offchain"]
+        alice.call("mine")
+        height_alice = alice.call("stats")["chain"]["height"]
+
+        # Bob, never having seen the settlement, out-mines her by one.
+        for _ in range(3):
+            bob.call("mine")
+        stats_bob = bob.call("stats")["chain"]
+        assert stats_bob["height"] == height_alice + 1
+        assert stats_bob["tip"] != alice.call("stats")["chain"]["tip"]
+
+        # Heal and reconcile: bob's longer branch wins on alice —
+        # a depth-2 reorg that evicts the settlement.
+        alice.call("fault", action="heal", peer="bob")
+        bob.call("fault", action="heal", peer="alice")
+        bob.call("chain-sync")
+
+        _poll(lambda: alice.call("stats")["chain"]["reorgs"] >= 1,
+              what="alice to reorganise onto bob's branch")
+        stats = alice.call("stats")["chain"]
+        assert stats["orphaned_txs"] >= 1
+
+        # The evicted settlement re-gossips into bob's mempool; bob mines
+        # it on the winning branch.
+        _poll(lambda: bob.call("stats")["chain"]["mempool"] >= 1,
+              what="the orphaned settlement to reach bob's mempool")
+        bob.call("mine")
+
+        def converged():
+            chain_a = alice.call("stats")["chain"]
+            chain_b = bob.call("stats")["chain"]
+            return (chain_a["tip"] == chain_b["tip"]
+                    and chain_a["mempool"] == chain_b["mempool"] == 0)
+
+        _poll(converged, what="both daemons on one branch, mempools empty")
+
+        # Exact conservation, fees included: the settlement paid a fee,
+        # the winning miner (bob) claimed it, nothing vanished.
+        fees = alice.call("stats")["chain"]["fees_collected"]
+        assert fees > 0
+        assert bob.call("stats")["chain"]["fees_collected"] == fees
+        balance_a = alice.call("balance")["onchain"]
+        balance_b = bob.call("balance")["onchain"]
+        assert balance_a + balance_b == 2 * GENESIS
+        # The payouts carry the fee: alice nets her channel balance minus
+        # her fee share, bob his plus the whole fee as the miner.
+        assert balance_a <= GENESIS - DEPOSIT + ALICE_CHANNEL
+        assert balance_a >= GENESIS - DEPOSIT + ALICE_CHANNEL - fees
+        assert balance_b >= GENESIS - DEPOSIT + BOB_CHANNEL
+    finally:
+        for handle in handles.values():
+            handle.shutdown()
